@@ -1,0 +1,106 @@
+"""Micro-benchmarks of the computational kernels behind Figures 5 and 6.
+
+These time the actual Python/NumPy implementations (predict, seq_train,
+init_train, the DQN training step and the fixed-point core) on the host CPU.
+They are the measured counterpart of the analytical latency models: the
+*scaling* with the hidden-layer size (quadratic seq_train, linear predict)
+should match the models even though the absolute numbers belong to the host
+rather than the Cortex-A9.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.dqn import DQNAgent, DQNConfig
+from repro.core.os_elm import OSELM
+from repro.core.regularization import RegularizationConfig
+from repro.fpga.core_sim import FixedPointOSELMCore
+
+HIDDEN_SIZES = (32, 64, 128)
+
+
+def _prepared_oselm(n_hidden: int, seed: int = 0) -> OSELM:
+    rng = np.random.default_rng(seed)
+    model = OSELM(5, n_hidden, 1, regularization=RegularizationConfig.l2(0.5), seed=seed)
+    x0 = rng.uniform(-1, 1, size=(n_hidden, 5))
+    t0 = rng.uniform(-1, 1, size=(n_hidden, 1))
+    model.init_train(x0, t0)
+    return model
+
+
+@pytest.mark.parametrize("n_hidden", HIDDEN_SIZES)
+@pytest.mark.benchmark(group="kernel-predict")
+def test_kernel_predict(benchmark, n_hidden):
+    model = _prepared_oselm(n_hidden)
+    x = np.random.default_rng(1).uniform(-1, 1, size=(1, 5))
+    result = benchmark(model.predict, x)
+    assert result.shape == (1, 1)
+
+
+@pytest.mark.parametrize("n_hidden", HIDDEN_SIZES)
+@pytest.mark.benchmark(group="kernel-seq-train")
+def test_kernel_seq_train(benchmark, n_hidden):
+    model = _prepared_oselm(n_hidden)
+    rng = np.random.default_rng(2)
+
+    def one_update():
+        model.seq_train_step(rng.uniform(-1, 1, size=5), float(rng.uniform(-1, 1)))
+
+    benchmark(one_update)
+    assert model.n_sequential_updates >= 1
+
+
+@pytest.mark.parametrize("n_hidden", HIDDEN_SIZES)
+@pytest.mark.benchmark(group="kernel-init-train")
+def test_kernel_init_train(benchmark, n_hidden):
+    rng = np.random.default_rng(3)
+    x0 = rng.uniform(-1, 1, size=(n_hidden, 5))
+    t0 = rng.uniform(-1, 1, size=(n_hidden, 1))
+
+    def init():
+        model = OSELM(5, n_hidden, 1, regularization=RegularizationConfig.l2(0.5), seed=0)
+        model.init_train(x0, t0)
+        return model
+
+    model = benchmark(init)
+    assert model.is_initialized
+
+
+@pytest.mark.parametrize("n_hidden", (32, 64))
+@pytest.mark.benchmark(group="kernel-dqn-train")
+def test_kernel_dqn_train_step(benchmark, n_hidden):
+    config = DQNConfig(n_states=4, n_actions=2, n_hidden=n_hidden, seed=0,
+                       min_replay_size=32, batch_size=32)
+    agent = DQNAgent(config)
+    rng = np.random.default_rng(4)
+    for _ in range(64):
+        state = rng.normal(size=4)
+        agent.replay.add(state, int(rng.integers(2)), float(rng.uniform(-1, 1)),
+                         state + 0.01, False)
+
+    benchmark(agent._train_step)
+    assert agent.train_steps >= 1
+
+
+@pytest.mark.parametrize("n_hidden", (32, 64))
+@pytest.mark.benchmark(group="kernel-fixedpoint")
+def test_kernel_fixed_point_seq_train(benchmark, n_hidden):
+    """The functional cost of simulating the fixed-point core in Python.
+
+    (On the real device this operation takes ~3*N^2 cycles at 125 MHz; here it
+    measures the simulation overhead, which is why the FPGA experiments use the
+    analytical latency model for time and the simulation only for values.)
+    """
+    rng = np.random.default_rng(5)
+    reference = _prepared_oselm(n_hidden)
+    core = FixedPointOSELMCore(5, n_hidden, 1)
+    core.load_weights(reference.alpha, reference.bias)
+    core.load_initial_state(reference.p_matrix, reference.beta)
+
+    def one_update():
+        core.seq_train(rng.uniform(-1, 1, size=5), rng.uniform(-1, 1, size=1))
+
+    benchmark(one_update)
+    assert core.seq_train_invocations >= 1

@@ -1,0 +1,67 @@
+"""Benchmark E5 — Tables 1 and 2: the experimental platform and CartPole-v0 bounds.
+
+These tables are specifications rather than measurements; the benchmark
+verifies that the reproduction's platform model and environment expose exactly
+the values the paper reports, and times a short environment rollout (the
+simulation substrate every other experiment relies on).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.envs import make
+from repro.fpga.device import PYNQ_Z1
+
+
+@pytest.mark.benchmark(group="table1-2")
+def test_table1_platform_specification(benchmark):
+    summary = benchmark(PYNQ_Z1.summary)
+    print()
+    for key, value in summary.items():
+        print(f"  {key}: {value}")
+    assert "Cortex-A9" in summary["CPU"]
+    assert "650MHz" in summary["CPU"]
+    assert summary["RAM"] == "512MB"
+    assert "xc7z020" in summary["FPGA device"]
+
+
+@pytest.mark.benchmark(group="table1-2")
+def test_table2_cartpole_observation_bounds(benchmark):
+    env = make("CartPole-v0", seed=0)
+
+    def bounds():
+        return env.observation_bounds_table
+
+    table = benchmark(bounds)
+    print()
+    for name, (low, high) in table.items():
+        print(f"  {name}: [{low:.3g}, {high:.3g}]")
+    assert table["cart_position"] == (-4.8, 4.8)
+    assert table["cart_velocity"] == (-math.inf, math.inf)
+    assert table["pole_velocity_at_tip"] == (-math.inf, math.inf)
+    # The paper's "41.8 degrees" corresponds to the 0.418-radian observation bound.
+    assert env.observation_space.high[2] == pytest.approx(0.418, abs=0.01)
+
+
+@pytest.mark.benchmark(group="table1-2")
+def test_cartpole_rollout_throughput(benchmark):
+    """Steps/second of the CartPole substrate (the floor under every training run)."""
+    env = make("CartPole-v0", seed=0)
+    rng = np.random.default_rng(0)
+
+    def rollout():
+        env.reset()
+        steps = 0
+        for _ in range(500):
+            result = env.step(int(rng.integers(2)))
+            steps += 1
+            if result.done:
+                env.reset()
+        return steps
+
+    steps = benchmark(rollout)
+    assert steps == 500

@@ -1,0 +1,73 @@
+"""repro: reproduction of "An FPGA-Based On-Device Reinforcement Learning
+Approach using Online Sequential Learning" (Watanabe, Tsukada & Matsutani).
+
+The package implements the paper's OS-ELM Q-Network approach to on-device
+reinforcement learning together with every substrate it needs: a Gym-style
+environment suite, a NumPy backpropagation framework for the DQN baseline,
+32-bit Q20 fixed-point arithmetic, and resource / latency models of the
+PYNQ-Z1 FPGA platform.
+
+Quickstart
+----------
+>>> from repro import make_design, train_agent, TrainingConfig
+>>> agent = make_design("OS-ELM-L2-Lipschitz", n_hidden=32, seed=0)
+>>> result = train_agent(agent, config=TrainingConfig(max_episodes=200))
+>>> result.solved, result.episodes      # doctest: +SKIP
+
+See ``examples/`` for complete scenarios and ``benchmarks/`` for the
+table/figure reproduction harnesses.
+"""
+
+from repro.core import (
+    AgentConfig,
+    DESIGN_NAMES,
+    ELM,
+    ELMQAgent,
+    OSELM,
+    OSELMQAgent,
+    QFunction,
+    RegularizationConfig,
+    design_spec,
+    make_design,
+)
+from repro.baselines import DQNAgent, DQNConfig
+from repro.envs import make as make_env
+from repro.fpga import (
+    FPGAAcceleratedOSELM,
+    OSELMCoreResourceModel,
+    PYNQ_Z1,
+    PynqZ1Platform,
+    XC7Z020,
+)
+from repro.fixedpoint import Q20, QFormat
+from repro.rl import TrainingConfig, TrainingResult, evaluate_agent, train_agent
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AgentConfig",
+    "DESIGN_NAMES",
+    "ELM",
+    "ELMQAgent",
+    "OSELM",
+    "OSELMQAgent",
+    "QFunction",
+    "RegularizationConfig",
+    "design_spec",
+    "make_design",
+    "DQNAgent",
+    "DQNConfig",
+    "make_env",
+    "FPGAAcceleratedOSELM",
+    "OSELMCoreResourceModel",
+    "PYNQ_Z1",
+    "PynqZ1Platform",
+    "XC7Z020",
+    "Q20",
+    "QFormat",
+    "TrainingConfig",
+    "TrainingResult",
+    "evaluate_agent",
+    "train_agent",
+    "__version__",
+]

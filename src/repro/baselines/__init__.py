@@ -1,0 +1,11 @@
+"""Baseline algorithms the paper compares against.
+
+Currently this is the conventional three-layer DQN (Section 2.4): deep
+Q-learning with experience replay, a fixed target network, the Huber loss and
+the Adam optimizer — implemented on the :mod:`repro.nn` NumPy framework.
+"""
+
+from repro.baselines.replay_buffer import ReplayBuffer
+from repro.baselines.dqn import DQNAgent, DQNConfig
+
+__all__ = ["ReplayBuffer", "DQNAgent", "DQNConfig"]

@@ -1,0 +1,93 @@
+"""Experience-replay buffer for the DQN baseline (Section 2.4).
+
+This is the component the paper argues is *infeasible* on a resource-limited
+edge device: a large circular buffer of past transitions sampled uniformly at
+random to break temporal correlation.  It is implemented with pre-allocated
+NumPy arrays so sampling a minibatch is a single fancy-indexing operation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.utils.seeding import np_random
+
+
+class ReplayBuffer:
+    """Uniform-sampling circular experience replay.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of stored transitions (oldest are overwritten).
+    n_states:
+        Dimensionality of the state vectors.
+    rng / seed:
+        Randomness used for minibatch sampling.
+    """
+
+    def __init__(self, capacity: int, n_states: int, *,
+                 rng: Optional[np.random.Generator] = None,
+                 seed: Optional[int] = None) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        if n_states <= 0:
+            raise ValueError(f"n_states must be positive, got {n_states}")
+        self.capacity = int(capacity)
+        self.n_states = int(n_states)
+        self._rng = rng if rng is not None else np_random(seed)[0]
+        self._states = np.zeros((self.capacity, self.n_states))
+        self._actions = np.zeros(self.capacity, dtype=np.int64)
+        self._rewards = np.zeros(self.capacity)
+        self._next_states = np.zeros((self.capacity, self.n_states))
+        self._dones = np.zeros(self.capacity, dtype=bool)
+        self._cursor = 0
+        self._size = 0
+
+    def add(self, state: np.ndarray, action: int, reward: float,
+            next_state: np.ndarray, done: bool) -> None:
+        """Store one transition, overwriting the oldest when full."""
+        index = self._cursor
+        self._states[index] = np.asarray(state, dtype=float).reshape(-1)
+        self._actions[index] = int(action)
+        self._rewards[index] = float(reward)
+        self._next_states[index] = np.asarray(next_state, dtype=float).reshape(-1)
+        self._dones[index] = bool(done)
+        self._cursor = (self._cursor + 1) % self.capacity
+        self._size = min(self._size + 1, self.capacity)
+
+    def sample(self, batch_size: int
+               ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Sample a uniform minibatch (with replacement when smaller than requested)."""
+        if self._size == 0:
+            raise ValueError("cannot sample from an empty replay buffer")
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        replace = self._size < batch_size
+        indices = self._rng.choice(self._size, size=batch_size, replace=replace)
+        return (
+            self._states[indices].copy(),
+            self._actions[indices].copy(),
+            self._rewards[indices].copy(),
+            self._next_states[indices].copy(),
+            self._dones[indices].copy(),
+        )
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def full(self) -> bool:
+        return self._size == self.capacity
+
+    @property
+    def nbytes(self) -> int:
+        """Memory footprint of the pre-allocated storage."""
+        return (self._states.nbytes + self._actions.nbytes + self._rewards.nbytes
+                + self._next_states.nbytes + self._dones.nbytes)
+
+    def clear(self) -> None:
+        self._cursor = 0
+        self._size = 0

@@ -1,0 +1,48 @@
+"""The paper's primary contribution: ELM / OS-ELM Q-Networks for on-device RL.
+
+Public surface:
+
+* :class:`ELM`, :class:`OSELM` — the single-hidden-layer regressors
+  (Sections 2.1–2.3), including the ReOS-ELM L2-regularized initial training
+  and the spectral normalization of the input weights.
+* :class:`QFunction` — the simplified output model of Section 3.1:
+  ``(state, action) -> scalar Q``.
+* :class:`ELMQAgent`, :class:`OSELMQAgent` — Algorithm 1 (Determine /
+  Observe / Store / Update) with Q-value clipping, random update and the
+  fixed target network.
+* :func:`make_design`, :data:`DESIGN_NAMES` — factory for the seven designs
+  compared in Section 4 (ELM, OS-ELM, OS-ELM-L2, OS-ELM-Lipschitz,
+  OS-ELM-L2-Lipschitz, DQN, FPGA).
+"""
+
+from repro.core.clipping import clip_q_target, q_learning_target
+from repro.core.elm import ELM
+from repro.core.os_elm import OSELM
+from repro.core.policies import EpsilonGreedyPolicy, RandomUpdateGate
+from repro.core.qfunction import QFunction
+from repro.core.regularization import RegularizationConfig, lipschitz_bound
+from repro.core.replay import InitialTrainingBuffer, Transition
+from repro.core.agents import AgentConfig, ELMQAgent, OSELMQAgent, QLearningAgent
+from repro.core.designs import DESIGN_NAMES, DesignSpec, design_spec, make_design
+
+__all__ = [
+    "clip_q_target",
+    "q_learning_target",
+    "ELM",
+    "OSELM",
+    "EpsilonGreedyPolicy",
+    "RandomUpdateGate",
+    "QFunction",
+    "RegularizationConfig",
+    "lipschitz_bound",
+    "InitialTrainingBuffer",
+    "Transition",
+    "AgentConfig",
+    "ELMQAgent",
+    "OSELMQAgent",
+    "QLearningAgent",
+    "DESIGN_NAMES",
+    "DesignSpec",
+    "design_spec",
+    "make_design",
+]

@@ -1,0 +1,150 @@
+"""Factory for the seven designs compared in Section 4.1.
+
+The paper evaluates:
+
+1. **ELM** — ELM Q-Network with the simplified output model and Q-value clipping.
+2. **OS-ELM** — OS-ELM Q-Network adding the random update.
+3. **OS-ELM-L2** — plus L2 regularization of beta (delta = 1).
+4. **OS-ELM-Lipschitz** — plus spectral normalization of alpha.
+5. **OS-ELM-L2-Lipschitz** — both (delta = 0.5).
+6. **DQN** — the three-layer DQN baseline (Adam lr=0.01, Huber loss,
+   experience replay, fixed target network).
+7. **FPGA** — the same algorithm as OS-ELM-L2-Lipschitz with prediction and
+   sequential training executed by the fixed-point (32-bit Q20) FPGA core
+   model, timed with the programmable-logic latency model.
+
+:func:`make_design` returns a ready-to-train agent for any design name; the
+imports of the DQN baseline and the FPGA accelerator are deferred so this
+module stays import-cycle-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.core.agents import AgentConfig, ELMQAgent, OSELMQAgent, QLearningAgent
+from repro.core.regularization import RegularizationConfig
+
+#: Canonical design names, in the order the paper lists them.
+DESIGN_NAMES: Tuple[str, ...] = (
+    "ELM",
+    "OS-ELM",
+    "OS-ELM-L2",
+    "OS-ELM-Lipschitz",
+    "OS-ELM-L2-Lipschitz",
+    "DQN",
+    "FPGA",
+)
+
+#: The subset of designs that run as software on the CPU (Figure 4's curves).
+SOFTWARE_DESIGNS: Tuple[str, ...] = DESIGN_NAMES[:6]
+
+#: L2 regularization strengths from Section 4.1.
+L2_DELTA_OS_ELM_L2 = 1.0
+L2_DELTA_OS_ELM_L2_LIPSCHITZ = 0.5
+
+
+@dataclass(frozen=True)
+class DesignSpec:
+    """Static description of one of the seven designs."""
+
+    name: str
+    family: str                       #: "elm", "os-elm", "dqn" or "fpga"
+    regularization: RegularizationConfig
+    uses_random_update: bool
+    runs_on_fpga: bool
+
+    @property
+    def is_proposed(self) -> bool:
+        """Whether the design is one of the paper's proposals (everything but DQN)."""
+        return self.family != "dqn"
+
+
+def design_spec(name: str) -> DesignSpec:
+    """Return the :class:`DesignSpec` for a canonical design name."""
+    if name == "ELM":
+        return DesignSpec(name, "elm", RegularizationConfig.none(), False, False)
+    if name == "OS-ELM":
+        return DesignSpec(name, "os-elm", RegularizationConfig.none(), True, False)
+    if name == "OS-ELM-L2":
+        return DesignSpec(name, "os-elm", RegularizationConfig.l2(L2_DELTA_OS_ELM_L2),
+                          True, False)
+    if name == "OS-ELM-Lipschitz":
+        return DesignSpec(name, "os-elm", RegularizationConfig.lipschitz(), True, False)
+    if name == "OS-ELM-L2-Lipschitz":
+        return DesignSpec(name, "os-elm",
+                          RegularizationConfig.l2_lipschitz(L2_DELTA_OS_ELM_L2_LIPSCHITZ),
+                          True, False)
+    if name == "DQN":
+        return DesignSpec(name, "dqn", RegularizationConfig.none(), False, False)
+    if name == "FPGA":
+        return DesignSpec(name, "fpga",
+                          RegularizationConfig.l2_lipschitz(L2_DELTA_OS_ELM_L2_LIPSCHITZ),
+                          True, True)
+    raise ValueError(f"unknown design {name!r}; choose from {DESIGN_NAMES}")
+
+
+def make_design(name: str, *, n_states: int = 4, n_actions: int = 2,
+                n_hidden: int = 64, gamma: float = 0.99,
+                seed: Optional[int] = None, **config_overrides) -> QLearningAgent:
+    """Construct a ready-to-train agent for one of the seven designs.
+
+    Parameters
+    ----------
+    name:
+        One of :data:`DESIGN_NAMES`.
+    n_states, n_actions:
+        Environment dimensions (4 and 2 for CartPole).
+    n_hidden:
+        Hidden-layer size ``N-tilde`` (the paper sweeps 32–192; DQN uses the
+        same width for both hidden layers).
+    gamma:
+        Discount factor.
+    seed:
+        Seed for all of the agent's randomness.
+    config_overrides:
+        Additional :class:`~repro.core.agents.AgentConfig` fields
+        (``greedy_probability``, ``update_probability``, ...); for the DQN
+        design they are forwarded to
+        :class:`~repro.baselines.dqn.DQNConfig` when the field exists there.
+    """
+    spec = design_spec(name)
+    if spec.family == "dqn":
+        from repro.baselines.dqn import DQNAgent, DQNConfig
+
+        dqn_fields = set(DQNConfig.__dataclass_fields__)
+        overrides = {k: v for k, v in config_overrides.items() if k in dqn_fields}
+        config = DQNConfig(n_states=n_states, n_actions=n_actions, n_hidden=n_hidden,
+                           gamma=gamma, seed=seed, **overrides)
+        return DQNAgent(config)
+
+    agent_fields = set(AgentConfig.__dataclass_fields__)
+    overrides = {k: v for k, v in config_overrides.items() if k in agent_fields}
+    config = AgentConfig(n_states=n_states, n_actions=n_actions, n_hidden=n_hidden,
+                         gamma=gamma, regularization=spec.regularization, seed=seed,
+                         **overrides)
+    if spec.family == "elm":
+        return ELMQAgent(config)
+    if spec.family == "os-elm":
+        agent = OSELMQAgent(config)
+        agent.name = name
+        return agent
+    # FPGA: the OS-ELM-L2-Lipschitz algorithm running on the fixed-point core.
+    from repro.fpga.accelerator import FPGAAcceleratedOSELM
+
+    fpga_kwargs = {k: v for k, v in config_overrides.items()
+                   if k in {"qformat", "clock_mhz", "device"}}
+    model = FPGAAcceleratedOSELM(
+        config.input_size, n_hidden, 1,
+        activation=config.activation,
+        regularization=spec.regularization,
+        seed=seed,
+        **fpga_kwargs,
+    )
+    agent = OSELMQAgent(config, model=model)
+    agent.name = "FPGA"
+    return agent
+
+
+__all__ = ["DESIGN_NAMES", "SOFTWARE_DESIGNS", "DesignSpec", "design_spec", "make_design"]

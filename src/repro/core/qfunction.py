@@ -1,0 +1,162 @@
+"""The simplified output model: ``Q(state, action)`` as a scalar regression.
+
+DQN maps the state to one Q-value per action (Figure 2, left).  Because ELM /
+OS-ELM are single-hidden-layer networks aimed at tiny FPGAs, the paper instead
+feeds the action *into* the network and reads a single scalar out (Figure 2,
+right): the input vector is the concatenation of the state and the action
+index, so its size is ``n_states + 1`` (five for CartPole — four state
+variables plus one action value), and the output size is 1.
+
+:class:`QFunction` wraps an :class:`~repro.core.elm.ELM` or
+:class:`~repro.core.os_elm.OSELM` regressor (or any object exposing the same
+``predict`` interface, e.g. the fixed-point FPGA core) and provides the
+action-space sweeps (``q_values``, ``greedy_action``, ``max_q``) needed by
+Q-learning.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.elm import ELM
+from repro.utils.exceptions import NotFittedError
+
+
+def encode_state_action(state: np.ndarray, action: int,
+                        n_actions: Optional[int] = None, *,
+                        one_hot: bool = False) -> np.ndarray:
+    """Concatenate a state vector and an action into one network input row.
+
+    By default the action is appended as a single scalar (the paper's
+    five-input CartPole encoding).  ``one_hot=True`` appends a one-hot action
+    block instead (requires ``n_actions``), which is useful for environments
+    with more than two actions where the scalar encoding imposes an
+    artificial ordering.
+    """
+    state = np.asarray(state, dtype=float).reshape(-1)
+    if one_hot:
+        if n_actions is None:
+            raise ValueError("one_hot encoding requires n_actions")
+        action_block = np.zeros(int(n_actions))
+        action_block[int(action)] = 1.0
+    else:
+        action_block = np.array([float(action)])
+    return np.concatenate([state, action_block])
+
+
+def state_action_input_size(n_states: int, n_actions: int, *, one_hot: bool = False) -> int:
+    """Input dimensionality of the simplified output model."""
+    if n_states <= 0 or n_actions <= 0:
+        raise ValueError("n_states and n_actions must be positive")
+    return int(n_states) + (int(n_actions) if one_hot else 1)
+
+
+class QFunction:
+    """A scalar Q-function backed by an ELM-family regressor.
+
+    Parameters
+    ----------
+    model:
+        A fitted (or fittable) regressor exposing ``predict`` over inputs of
+        size ``state_action_input_size(n_states, n_actions, one_hot)``.
+    n_states, n_actions:
+        Environment dimensions.
+    one_hot_actions:
+        Whether actions are one-hot encoded in the network input.
+    default_value:
+        Q-value returned before the model has been trained (Algorithm 1 needs
+        greedy actions even before the initial training completes; the paper
+        simply acts on the untrained network, which we represent with a
+        constant until beta exists).
+    """
+
+    def __init__(self, model: ELM, n_states: int, n_actions: int, *,
+                 one_hot_actions: bool = False, default_value: float = 0.0) -> None:
+        if n_states <= 0 or n_actions <= 0:
+            raise ValueError("n_states and n_actions must be positive")
+        expected = state_action_input_size(n_states, n_actions, one_hot=one_hot_actions)
+        if getattr(model, "n_inputs", expected) != expected:
+            raise ValueError(
+                f"model expects {model.n_inputs} inputs but the simplified output model "
+                f"requires {expected} (n_states={n_states}, n_actions={n_actions}, "
+                f"one_hot={one_hot_actions})"
+            )
+        if getattr(model, "n_outputs", 1) != 1:
+            raise ValueError("the simplified output model has a scalar output; n_outputs must be 1")
+        self.model = model
+        self.n_states = int(n_states)
+        self.n_actions = int(n_actions)
+        self.one_hot_actions = bool(one_hot_actions)
+        self.default_value = float(default_value)
+
+    # ------------------------------------------------------------------ encoding
+    @property
+    def input_size(self) -> int:
+        return state_action_input_size(self.n_states, self.n_actions,
+                                       one_hot=self.one_hot_actions)
+
+    def encode(self, state: np.ndarray, action: int) -> np.ndarray:
+        """Encode one (state, action) pair as a network input row."""
+        return encode_state_action(state, action, self.n_actions,
+                                   one_hot=self.one_hot_actions)
+
+    def encode_batch(self, states: np.ndarray, actions: Sequence[int]) -> np.ndarray:
+        """Encode matching arrays of states and actions into an input matrix."""
+        states = np.asarray(states, dtype=float)
+        if states.ndim == 1:
+            states = states.reshape(1, -1)
+        actions = np.asarray(actions)
+        if states.shape[0] != actions.shape[0]:
+            raise ValueError("states and actions must have the same length")
+        return np.stack([self.encode(states[i], int(actions[i]))
+                         for i in range(states.shape[0])])
+
+    # ------------------------------------------------------------------ evaluation
+    @property
+    def is_trained(self) -> bool:
+        is_fitted = getattr(self.model, "is_fitted", None)
+        return bool(is_fitted) if is_fitted is not None else True
+
+    def value(self, state: np.ndarray, action: int) -> float:
+        """Q(state, action) as a scalar."""
+        if not self.is_trained:
+            return self.default_value
+        return float(self.model.predict(self.encode(state, action).reshape(1, -1))[0, 0])
+
+    def q_values(self, state: np.ndarray) -> np.ndarray:
+        """Q(state, a) for every action ``a`` — one network evaluation per action."""
+        if not self.is_trained:
+            return np.full(self.n_actions, self.default_value)
+        rows = np.stack([self.encode(state, action) for action in range(self.n_actions)])
+        return self.model.predict(rows).reshape(-1)
+
+    def greedy_action(self, state: np.ndarray) -> int:
+        """``argmax_a Q(state, a)`` (Algorithm 1, line 11)."""
+        return int(np.argmax(self.q_values(state)))
+
+    def max_q(self, state: np.ndarray) -> float:
+        """``max_a Q(state, a)`` — the bootstrap term of the Q-learning target."""
+        return float(np.max(self.q_values(state)))
+
+    # ------------------------------------------------------------------ training passthroughs
+    def fit_batch(self, states: np.ndarray, actions: Sequence[int],
+                  targets: np.ndarray) -> None:
+        """Batch (initial) training of the underlying model on encoded inputs."""
+        inputs = self.encode_batch(states, actions)
+        targets = np.asarray(targets, dtype=float).reshape(-1, 1)
+        self.model.fit(inputs, targets)
+
+    def update(self, state: np.ndarray, action: int, target: float) -> None:
+        """Sequential (batch-size-1) training step, if the model supports it."""
+        seq_step = getattr(self.model, "seq_train_step", None)
+        if seq_step is None:
+            raise NotFittedError(
+                f"{type(self.model).__name__} does not support sequential updates"
+            )
+        seq_step(self.encode(state, action), target)
+
+    def __repr__(self) -> str:
+        return (f"QFunction(n_states={self.n_states}, n_actions={self.n_actions}, "
+                f"one_hot={self.one_hot_actions}, model={self.model!r})")

@@ -1,0 +1,91 @@
+"""The small buffer ``D`` used for initial training (Algorithm 1, Store state).
+
+Unlike DQN's experience-replay buffer (tens of thousands of transitions,
+sampled repeatedly), the paper's buffer D only needs to hold ``N-tilde``
+transitions — just enough to perform the one-shot initial training of ELM /
+OS-ELM — which is what makes the approach feasible on a memory-limited FPGA.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One environment interaction ``(s_t, a_t, r_t, s_{t+1}, d_t)``."""
+
+    state: np.ndarray
+    action: int
+    reward: float
+    next_state: np.ndarray
+    done: bool
+
+    def astuple(self) -> Tuple[np.ndarray, int, float, np.ndarray, bool]:
+        return (self.state, self.action, self.reward, self.next_state, self.done)
+
+
+class InitialTrainingBuffer:
+    """A bounded FIFO buffer of transitions with batch extraction helpers."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = int(capacity)
+        self._storage: List[Transition] = []
+
+    def add(self, transition: Transition) -> None:
+        """Append a transition; the oldest entry is dropped when full."""
+        if len(self._storage) >= self.capacity:
+            self._storage.pop(0)
+        self._storage.append(transition)
+
+    def store(self, state: np.ndarray, action: int, reward: float,
+              next_state: np.ndarray, done: bool) -> None:
+        """Convenience form of :meth:`add` matching Algorithm 1's Store state."""
+        self.add(Transition(np.asarray(state, dtype=float).copy(), int(action),
+                            float(reward), np.asarray(next_state, dtype=float).copy(),
+                            bool(done)))
+
+    def __len__(self) -> int:
+        return len(self._storage)
+
+    def __iter__(self) -> Iterator[Transition]:
+        return iter(self._storage)
+
+    def __getitem__(self, index: int) -> Transition:
+        return self._storage[index]
+
+    @property
+    def full(self) -> bool:
+        return len(self._storage) == self.capacity
+
+    def clear(self) -> None:
+        self._storage.clear()
+
+    def as_batches(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Stack the stored transitions into dense arrays.
+
+        Returns ``(states, actions, rewards, next_states, dones)`` with shapes
+        ``(k, n_state)``, ``(k,)``, ``(k,)``, ``(k, n_state)`` and ``(k,)``.
+        """
+        if not self._storage:
+            raise ValueError("buffer is empty")
+        states = np.stack([t.state for t in self._storage])
+        actions = np.array([t.action for t in self._storage], dtype=np.int64)
+        rewards = np.array([t.reward for t in self._storage], dtype=np.float64)
+        next_states = np.stack([t.next_state for t in self._storage])
+        dones = np.array([t.done for t in self._storage], dtype=bool)
+        return states, actions, rewards, next_states, dones
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate memory footprint of the stored transitions (float64 host storage)."""
+        if not self._storage:
+            return 0
+        sample = self._storage[0]
+        per_transition = sample.state.nbytes + sample.next_state.nbytes + 8 + 8 + 1
+        return per_transition * len(self._storage)

@@ -1,0 +1,118 @@
+"""Acrobot environment (two-link underactuated pendulum).
+
+Another of the classic-control tasks the paper's future-work section targets.
+Dynamics follow Sutton (1996) / Gym's ``Acrobot-v1``: only the joint between
+the two links is actuated (torque in {-1, 0, +1}), and the goal is to swing
+the tip above a height of one link length.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Tuple
+
+import numpy as np
+
+from repro.envs.core import Env, StepResult
+from repro.envs.spaces import Box, Discrete
+
+
+class AcrobotEnv(Env):
+    """The acrobot swing-up task with a 6-dimensional trigonometric observation."""
+
+    DT = 0.2
+    LINK_LENGTH_1 = 1.0
+    LINK_LENGTH_2 = 1.0
+    LINK_MASS_1 = 1.0
+    LINK_MASS_2 = 1.0
+    LINK_COM_POS_1 = 0.5
+    LINK_COM_POS_2 = 0.5
+    LINK_MOI = 1.0
+    MAX_VEL_1 = 4 * np.pi
+    MAX_VEL_2 = 9 * np.pi
+    AVAIL_TORQUE = (-1.0, 0.0, 1.0)
+
+    def __init__(self, *, max_episode_steps: int = 500, seed: int = None) -> None:
+        super().__init__(seed=seed)
+        self.max_episode_steps = max_episode_steps if max_episode_steps is None else int(max_episode_steps)
+        high = np.array([1.0, 1.0, 1.0, 1.0, self.MAX_VEL_1, self.MAX_VEL_2], dtype=np.float64)
+        self.observation_space = Box(-high, high, seed=seed)
+        self.action_space = Discrete(3, seed=None if seed is None else seed + 1)
+        self.state = np.zeros(4)
+        self._steps = 0
+
+    # ------------------------------------------------------------------ helpers
+    def _observation(self) -> np.ndarray:
+        theta1, theta2, dtheta1, dtheta2 = self.state
+        return np.array(
+            [np.cos(theta1), np.sin(theta1), np.cos(theta2), np.sin(theta2), dtheta1, dtheta2]
+        )
+
+    def _dsdt(self, augmented_state: np.ndarray) -> np.ndarray:
+        """Equations of motion; the last element of the state is the applied torque."""
+        m1, m2 = self.LINK_MASS_1, self.LINK_MASS_2
+        l1 = self.LINK_LENGTH_1
+        lc1, lc2 = self.LINK_COM_POS_1, self.LINK_COM_POS_2
+        i1 = i2 = self.LINK_MOI
+        g = 9.8
+        a = augmented_state[-1]
+        s = augmented_state[:-1]
+        theta1, theta2, dtheta1, dtheta2 = s
+        d1 = (m1 * lc1**2 + m2 * (l1**2 + lc2**2 + 2 * l1 * lc2 * np.cos(theta2)) + i1 + i2)
+        d2 = m2 * (lc2**2 + l1 * lc2 * np.cos(theta2)) + i2
+        phi2 = m2 * lc2 * g * np.cos(theta1 + theta2 - np.pi / 2.0)
+        phi1 = (
+            -m2 * l1 * lc2 * dtheta2**2 * np.sin(theta2)
+            - 2 * m2 * l1 * lc2 * dtheta2 * dtheta1 * np.sin(theta2)
+            + (m1 * lc1 + m2 * l1) * g * np.cos(theta1 - np.pi / 2)
+            + phi2
+        )
+        ddtheta2 = (
+            a + d2 / d1 * phi1 - m2 * l1 * lc2 * dtheta1**2 * np.sin(theta2) - phi2
+        ) / (m2 * lc2**2 + i2 - d2**2 / d1)
+        ddtheta1 = -(d2 * ddtheta2 + phi1) / d1
+        return np.array([dtheta1, dtheta2, ddtheta1, ddtheta2, 0.0])
+
+    def _rk4_step(self, state: np.ndarray, torque: float) -> np.ndarray:
+        """Classic fourth-order Runge-Kutta integration over one timestep."""
+        augmented = np.append(state, torque)
+        dt = self.DT
+        k1 = self._dsdt(augmented)
+        k2 = self._dsdt(augmented + dt / 2.0 * k1)
+        k3 = self._dsdt(augmented + dt / 2.0 * k2)
+        k4 = self._dsdt(augmented + dt * k3)
+        out = augmented + dt / 6.0 * (k1 + 2 * k2 + 2 * k3 + k4)
+        return out[:-1]
+
+    @staticmethod
+    def _wrap(value: float, low: float, high: float) -> float:
+        span = high - low
+        while value > high:
+            value -= span
+        while value < low:
+            value += span
+        return value
+
+    # ------------------------------------------------------------------ Env protocol
+    def _reset(self) -> Tuple[np.ndarray, Dict[str, Any]]:
+        self.state = self._rng.uniform(-0.1, 0.1, size=4)
+        self._steps = 0
+        return self._observation(), {}
+
+    def _step(self, action) -> StepResult:
+        action = int(np.asarray(action).item())
+        torque = self.AVAIL_TORQUE[action]
+        new_state = self._rk4_step(self.state, torque)
+        new_state[0] = self._wrap(new_state[0], -np.pi, np.pi)
+        new_state[1] = self._wrap(new_state[1], -np.pi, np.pi)
+        new_state[2] = float(np.clip(new_state[2], -self.MAX_VEL_1, self.MAX_VEL_1))
+        new_state[3] = float(np.clip(new_state[3], -self.MAX_VEL_2, self.MAX_VEL_2))
+        self.state = new_state
+        self._steps += 1
+        theta1, theta2 = self.state[0], self.state[1]
+        terminated = bool(-np.cos(theta1) - np.cos(theta2 + theta1) > 1.0)
+        truncated = bool(
+            self.max_episode_steps is not None and self._steps >= self.max_episode_steps
+        )
+        reward = 0.0 if terminated else -1.0
+        return StepResult(self._observation(), reward, terminated, truncated,
+                          {"steps": self._steps})

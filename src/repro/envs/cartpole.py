@@ -1,0 +1,158 @@
+"""CartPole (inverted pendulum) environment.
+
+This is the task the paper evaluates on ("OpenAI Gym CartPole-v0 that tries
+to make an inverted pendulum stand longer").  The dynamics follow the
+classical Barto, Sutton & Anderson (1983) formulation used by Gym's
+``CartPole-v0``:
+
+* state: ``[cart position, cart velocity, pole angle, pole tip velocity]``
+* actions: 0 = push left, 1 = push right (force of ±10 N)
+* reward: +1 per step survived
+* termination: |position| > 2.4 m or |angle| > 12° (the paper's Table 2
+  quotes the *observation-space* angle bound of ±41.8° ≈ ±0.418×2 rad; the
+  episode itself terminates at ±12° exactly as in Gym)
+* Euler integration at 0.02 s per step.
+
+``CartPole-v0`` truncates episodes at 200 steps with a solved threshold of
+195; ``CartPole-v1`` at 500 steps / 475.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, Tuple
+
+import numpy as np
+
+from repro.envs.core import Env, StepResult
+from repro.envs.spaces import Box, Discrete
+
+
+@dataclass(frozen=True)
+class CartPoleParams:
+    """Physical constants of the cart-pole system (Gym defaults)."""
+
+    gravity: float = 9.8                #: m/s^2
+    cart_mass: float = 1.0              #: kg
+    pole_mass: float = 0.1              #: kg
+    pole_half_length: float = 0.5       #: m (distance to the pole's centre of mass)
+    force_magnitude: float = 10.0       #: N applied per action
+    tau: float = 0.02                   #: integration timestep, s
+    position_threshold: float = 2.4     #: m, termination bound on |x|
+    angle_threshold_degrees: float = 12.0  #: termination bound on |theta|
+
+    @property
+    def total_mass(self) -> float:
+        return self.cart_mass + self.pole_mass
+
+    @property
+    def pole_mass_length(self) -> float:
+        return self.pole_mass * self.pole_half_length
+
+    @property
+    def angle_threshold(self) -> float:
+        """Termination angle in radians."""
+        return self.angle_threshold_degrees * 2.0 * math.pi / 360.0
+
+
+class CartPoleEnv(Env):
+    """The CartPole balancing task.
+
+    Parameters
+    ----------
+    max_episode_steps:
+        Episode truncation horizon (200 for v0, 500 for v1).  ``None``
+        disables truncation (pure physics).
+    params:
+        Physical constants; defaults match Gym.
+    seed:
+        Seed for the initial-state RNG.
+    """
+
+    def __init__(self, *, max_episode_steps: int = 200,
+                 params: CartPoleParams = CartPoleParams(), seed: int = None) -> None:
+        super().__init__(seed=seed)
+        self.params = params
+        self.max_episode_steps = max_episode_steps if max_episode_steps is None else int(max_episode_steps)
+        # Observation-space bounds: position/angle limits are twice the
+        # termination thresholds (as in Gym, and as quoted by the paper's
+        # Table 2: pole angle ±41.8 degrees = 2 * 12 degrees in radians
+        # rendered in degrees of the observation bound, cart position ±2.4).
+        high = np.array(
+            [
+                params.position_threshold * 2.0,
+                np.inf,
+                params.angle_threshold * 2.0,
+                np.inf,
+            ],
+            dtype=np.float64,
+        )
+        self.observation_space = Box(-high, high, seed=seed)
+        self.action_space = Discrete(2, seed=None if seed is None else seed + 1)
+        self.state: np.ndarray = np.zeros(4)
+        self._steps = 0
+        self._steps_beyond_terminated = 0
+
+    # ------------------------------------------------------------------ dynamics
+    def _reset(self) -> Tuple[np.ndarray, Dict[str, Any]]:
+        self.state = self._rng.uniform(-0.05, 0.05, size=4)
+        self._steps = 0
+        self._steps_beyond_terminated = 0
+        return self.state.copy(), {}
+
+    def _dynamics(self, state: np.ndarray, action: int) -> np.ndarray:
+        """One Euler step of the cart-pole equations of motion."""
+        p = self.params
+        x, x_dot, theta, theta_dot = state
+        force = p.force_magnitude if action == 1 else -p.force_magnitude
+        cos_theta = math.cos(theta)
+        sin_theta = math.sin(theta)
+        temp = (force + p.pole_mass_length * theta_dot**2 * sin_theta) / p.total_mass
+        theta_acc = (p.gravity * sin_theta - cos_theta * temp) / (
+            p.pole_half_length * (4.0 / 3.0 - p.pole_mass * cos_theta**2 / p.total_mass)
+        )
+        x_acc = temp - p.pole_mass_length * theta_acc * cos_theta / p.total_mass
+        return np.array(
+            [
+                x + p.tau * x_dot,
+                x_dot + p.tau * x_acc,
+                theta + p.tau * theta_dot,
+                theta_dot + p.tau * theta_acc,
+            ]
+        )
+
+    def _step(self, action) -> StepResult:
+        action = int(np.asarray(action).item())
+        self.state = self._dynamics(self.state, action)
+        self._steps += 1
+        x, _, theta, _ = self.state
+        terminated = bool(
+            abs(x) > self.params.position_threshold
+            or abs(theta) > self.params.angle_threshold
+        )
+        truncated = bool(
+            self.max_episode_steps is not None and self._steps >= self.max_episode_steps
+        )
+        if terminated:
+            self._steps_beyond_terminated += 1
+        reward = 1.0
+        return StepResult(self.state.copy(), reward, terminated, truncated,
+                          {"steps": self._steps})
+
+    # ------------------------------------------------------------------ metadata
+    @property
+    def observation_bounds_table(self) -> Dict[str, Tuple[float, float]]:
+        """The paper's Table 2: min/max of each observation dimension.
+
+        Pole angle bounds are reported in degrees as the paper does
+        (±41.8 degrees); velocities are unbounded.
+        """
+        pos = self.params.position_threshold * 2.0
+        angle_deg = math.degrees(self.params.angle_threshold * 2.0)
+        return {
+            "cart_position": (-pos, pos),
+            "cart_velocity": (-math.inf, math.inf),
+            "pole_angle_degrees": (-angle_deg, angle_deg),
+            "pole_velocity_at_tip": (-math.inf, math.inf),
+        }

@@ -1,0 +1,134 @@
+"""Core environment protocol (a from-scratch Gym-compatible subset)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.envs.spaces import Space
+from repro.utils.seeding import np_random
+
+
+@dataclass(frozen=True)
+class EnvSpec:
+    """Static metadata about a registered environment."""
+
+    id: str
+    max_episode_steps: Optional[int] = None
+    reward_threshold: Optional[float] = None
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class StepResult:
+    """The 5-tuple returned by :meth:`Env.step`, as a named structure.
+
+    ``done`` combines termination (pole fell / cart out of bounds) and
+    truncation (time limit); both flags are also available separately so the
+    Q-learning target can treat time-limit truncation like the paper does
+    (the ``d_t`` flag in Algorithm 1 simply marks the end of the episode).
+    """
+
+    observation: np.ndarray
+    reward: float
+    terminated: bool
+    truncated: bool
+    info: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def done(self) -> bool:
+        return self.terminated or self.truncated
+
+    def as_tuple(self) -> Tuple[np.ndarray, float, bool, bool, Dict[str, Any]]:
+        return self.observation, self.reward, self.terminated, self.truncated, self.info
+
+    def __iter__(self):
+        return iter(self.as_tuple())
+
+
+class Env:
+    """Base environment.
+
+    Subclasses implement :meth:`_reset` and :meth:`_step`; the public
+    :meth:`reset` / :meth:`step` wrappers handle seeding and bookkeeping.
+    """
+
+    #: Populated by subclasses.
+    observation_space: Space
+    action_space: Space
+    spec: Optional[EnvSpec] = None
+
+    def __init__(self, seed: Optional[int] = None) -> None:
+        self._rng, self._seed = np_random(seed)
+        self._episode_started = False
+
+    # ------------------------------------------------------------------ public API
+    @property
+    def rng(self) -> np.random.Generator:
+        return self._rng
+
+    def seed(self, seed: Optional[int] = None) -> int:
+        """Re-seed the environment's dynamics RNG, returning the seed used."""
+        self._rng, self._seed = np_random(seed)
+        if hasattr(self, "observation_space") and self.observation_space is not None:
+            self.observation_space.seed(seed if seed is None else seed + 1)
+        if hasattr(self, "action_space") and self.action_space is not None:
+            self.action_space.seed(seed if seed is None else seed + 2)
+        return self._seed
+
+    def reset(self, *, seed: Optional[int] = None) -> Tuple[np.ndarray, Dict[str, Any]]:
+        """Start a new episode; returns the initial observation and an info dict."""
+        if seed is not None:
+            self.seed(seed)
+        self._episode_started = True
+        observation, info = self._reset()
+        return np.asarray(observation, dtype=np.float64), info
+
+    def step(self, action) -> StepResult:
+        """Advance one timestep.  ``reset`` must have been called first."""
+        if not self._episode_started:
+            raise RuntimeError("step() called before reset()")
+        if not self.action_space.contains(action):
+            raise ValueError(f"action {action!r} is not contained in {self.action_space}")
+        result = self._step(action)
+        if result.done:
+            self._episode_started = False
+        result.observation = np.asarray(result.observation, dtype=np.float64)
+        return result
+
+    def close(self) -> None:  # pragma: no cover - nothing to release in pure-python envs
+        """Release resources (no-op for the built-in environments)."""
+
+    # ------------------------------------------------------------------ subclass hooks
+    def _reset(self) -> Tuple[np.ndarray, Dict[str, Any]]:
+        raise NotImplementedError
+
+    def _step(self, action) -> StepResult:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ conveniences
+    @property
+    def n_observations(self) -> int:
+        """Dimensionality of the (flat) observation vector."""
+        shape = self.observation_space.shape
+        return int(np.prod(shape)) if shape else 1
+
+    @property
+    def n_actions(self) -> int:
+        """Number of discrete actions (raises for continuous action spaces)."""
+        from repro.envs.spaces import Discrete
+        if not isinstance(self.action_space, Discrete):
+            raise TypeError("n_actions is only defined for Discrete action spaces")
+        return self.action_space.n
+
+    def __enter__(self) -> "Env":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        name = self.spec.id if self.spec is not None else type(self).__name__
+        return f"<{type(self).__name__} {name}>"

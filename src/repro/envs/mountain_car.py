@@ -1,0 +1,64 @@
+"""MountainCar environment (discrete actions).
+
+One of the "other reinforcement tasks" the paper lists as future work
+(Section 5).  An under-powered car must rock back and forth to reach the
+flag on the right hill.  Dynamics follow Moore (1990) / Gym's
+``MountainCar-v0``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Tuple
+
+import numpy as np
+
+from repro.envs.core import Env, StepResult
+from repro.envs.spaces import Box, Discrete
+
+
+class MountainCarEnv(Env):
+    """The classic mountain-car task with actions {push left, no push, push right}."""
+
+    MIN_POSITION = -1.2
+    MAX_POSITION = 0.6
+    MAX_SPEED = 0.07
+    GOAL_POSITION = 0.5
+    GOAL_VELOCITY = 0.0
+    FORCE = 0.001
+    GRAVITY = 0.0025
+
+    def __init__(self, *, max_episode_steps: int = 200, seed: int = None) -> None:
+        super().__init__(seed=seed)
+        self.max_episode_steps = max_episode_steps if max_episode_steps is None else int(max_episode_steps)
+        low = np.array([self.MIN_POSITION, -self.MAX_SPEED], dtype=np.float64)
+        high = np.array([self.MAX_POSITION, self.MAX_SPEED], dtype=np.float64)
+        self.observation_space = Box(low, high, seed=seed)
+        self.action_space = Discrete(3, seed=None if seed is None else seed + 1)
+        self.state = np.zeros(2)
+        self._steps = 0
+
+    def _reset(self) -> Tuple[np.ndarray, Dict[str, Any]]:
+        position = self._rng.uniform(-0.6, -0.4)
+        self.state = np.array([position, 0.0])
+        self._steps = 0
+        return self.state.copy(), {}
+
+    def _step(self, action) -> StepResult:
+        action = int(np.asarray(action).item())
+        position, velocity = self.state
+        velocity += (action - 1) * self.FORCE + math.cos(3.0 * position) * (-self.GRAVITY)
+        velocity = float(np.clip(velocity, -self.MAX_SPEED, self.MAX_SPEED))
+        position += velocity
+        position = float(np.clip(position, self.MIN_POSITION, self.MAX_POSITION))
+        if position <= self.MIN_POSITION and velocity < 0:
+            velocity = 0.0
+        self.state = np.array([position, velocity])
+        self._steps += 1
+        terminated = bool(position >= self.GOAL_POSITION and velocity >= self.GOAL_VELOCITY)
+        truncated = bool(
+            self.max_episode_steps is not None and self._steps >= self.max_episode_steps
+        )
+        reward = -1.0
+        return StepResult(self.state.copy(), reward, terminated, truncated,
+                          {"steps": self._steps})

@@ -1,0 +1,79 @@
+"""Environment registry and ``make()`` factory (the Gym-style entry point)."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from repro.envs.acrobot import AcrobotEnv
+from repro.envs.cartpole import CartPoleEnv
+from repro.envs.core import Env, EnvSpec
+from repro.envs.mountain_car import MountainCarEnv
+from repro.envs.wrappers import EpisodeStatistics
+
+
+class _Registration:
+    def __init__(self, spec: EnvSpec, factory: Callable[..., Env]) -> None:
+        self.spec = spec
+        self.factory = factory
+
+
+registry: Dict[str, _Registration] = {}
+
+
+def register(env_id: str, factory: Callable[..., Env], *,
+             max_episode_steps: Optional[int] = None,
+             reward_threshold: Optional[float] = None,
+             **default_kwargs: Any) -> None:
+    """Register an environment constructor under a string id.
+
+    Re-registering an existing id overwrites it (useful in tests).
+    """
+    registry[env_id] = _Registration(
+        EnvSpec(env_id, max_episode_steps, reward_threshold, dict(default_kwargs)),
+        factory,
+    )
+
+
+def spec(env_id: str) -> EnvSpec:
+    """Return the :class:`EnvSpec` for a registered id."""
+    if env_id not in registry:
+        raise KeyError(f"unknown environment id {env_id!r}; registered: {sorted(registry)}")
+    return registry[env_id].spec
+
+
+def make(env_id: str, *, seed: Optional[int] = None, record_statistics: bool = False,
+         **kwargs: Any) -> Env:
+    """Instantiate a registered environment.
+
+    Parameters
+    ----------
+    env_id:
+        Registered id, e.g. ``"CartPole-v0"``.
+    seed:
+        Optional seed forwarded to the environment.
+    record_statistics:
+        Wrap the env in :class:`EpisodeStatistics` to collect per-episode
+        returns (the quantity plotted in Figure 4).
+    kwargs:
+        Overrides for the environment constructor.
+    """
+    if env_id not in registry:
+        raise KeyError(f"unknown environment id {env_id!r}; registered: {sorted(registry)}")
+    registration = registry[env_id]
+    env_spec = registration.spec
+    merged: Dict[str, Any] = dict(env_spec.kwargs)
+    merged.update(kwargs)
+    if env_spec.max_episode_steps is not None and "max_episode_steps" not in kwargs:
+        merged.setdefault("max_episode_steps", env_spec.max_episode_steps)
+    env = registration.factory(seed=seed, **merged)
+    env.spec = env_spec
+    if record_statistics:
+        env = EpisodeStatistics(env)
+    return env
+
+
+# ---------------------------------------------------------------------- built-ins
+register("CartPole-v0", CartPoleEnv, max_episode_steps=200, reward_threshold=195.0)
+register("CartPole-v1", CartPoleEnv, max_episode_steps=500, reward_threshold=475.0)
+register("MountainCar-v0", MountainCarEnv, max_episode_steps=200, reward_threshold=-110.0)
+register("Acrobot-v1", AcrobotEnv, max_episode_steps=500, reward_threshold=-100.0)

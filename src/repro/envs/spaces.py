@@ -1,0 +1,119 @@
+"""Observation / action spaces (Gym-compatible subset)."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from repro.utils.seeding import np_random
+
+
+class Space:
+    """Base class describing a set of valid values."""
+
+    def __init__(self, shape: Optional[Tuple[int, ...]] = None, dtype=None,
+                 seed: Optional[int] = None) -> None:
+        self.shape = tuple(shape) if shape is not None else None
+        self.dtype = np.dtype(dtype) if dtype is not None else None
+        self._rng, _ = np_random(seed)
+
+    def seed(self, seed: Optional[int] = None) -> int:
+        """Re-seed the space's sampling RNG and return the seed used."""
+        self._rng, used = np_random(seed)
+        return used
+
+    def sample(self):
+        """Draw a uniformly random element of the space."""
+        raise NotImplementedError
+
+    def contains(self, x) -> bool:
+        """Whether ``x`` is a valid member of the space."""
+        raise NotImplementedError
+
+    def __contains__(self, x) -> bool:
+        return self.contains(x)
+
+
+class Discrete(Space):
+    """A finite set ``{start, ..., start + n - 1}`` of integer actions."""
+
+    def __init__(self, n: int, *, start: int = 0, seed: Optional[int] = None) -> None:
+        if n <= 0:
+            raise ValueError(f"Discrete space requires n > 0, got {n}")
+        super().__init__(shape=(), dtype=np.int64, seed=seed)
+        self.n = int(n)
+        self.start = int(start)
+
+    def sample(self) -> int:
+        return int(self._rng.integers(self.start, self.start + self.n))
+
+    def contains(self, x) -> bool:
+        if isinstance(x, (np.generic, np.ndarray)):
+            if np.asarray(x).shape != ():
+                return False
+            x = np.asarray(x).item()
+        if not isinstance(x, (int, np.integer)) or isinstance(x, bool):
+            return False
+        return self.start <= int(x) < self.start + self.n
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Discrete) and other.n == self.n and other.start == self.start
+
+    def __repr__(self) -> str:
+        return f"Discrete({self.n})" if self.start == 0 else f"Discrete({self.n}, start={self.start})"
+
+
+class Box(Space):
+    """A (possibly unbounded) axis-aligned box in R^n."""
+
+    def __init__(self, low: Union[float, np.ndarray], high: Union[float, np.ndarray],
+                 shape: Optional[Tuple[int, ...]] = None, dtype=np.float64,
+                 seed: Optional[int] = None) -> None:
+        low_arr = np.asarray(low, dtype=np.float64)
+        high_arr = np.asarray(high, dtype=np.float64)
+        if shape is None:
+            shape = np.broadcast(low_arr, high_arr).shape
+        self.low = np.broadcast_to(low_arr, shape).astype(np.float64).copy()
+        self.high = np.broadcast_to(high_arr, shape).astype(np.float64).copy()
+        if np.any(self.low > self.high):
+            raise ValueError("low must be element-wise <= high")
+        super().__init__(shape=shape, dtype=dtype, seed=seed)
+
+    @property
+    def bounded_below(self) -> np.ndarray:
+        return np.isfinite(self.low)
+
+    @property
+    def bounded_above(self) -> np.ndarray:
+        return np.isfinite(self.high)
+
+    def is_bounded(self) -> bool:
+        return bool(np.all(self.bounded_below) and np.all(self.bounded_above))
+
+    def sample(self) -> np.ndarray:
+        """Sample uniformly on bounded axes, from a unit normal / exponential tail otherwise."""
+        sample = np.empty(self.shape, dtype=np.float64)
+        below, above = self.bounded_below, self.bounded_above
+        both = below & above
+        neither = ~below & ~above
+        only_low = below & ~above
+        only_high = ~below & above
+        sample[both] = self._rng.uniform(self.low[both], self.high[both])
+        sample[neither] = self._rng.standard_normal(int(neither.sum()))
+        sample[only_low] = self.low[only_low] + self._rng.exponential(size=int(only_low.sum()))
+        sample[only_high] = self.high[only_high] - self._rng.exponential(size=int(only_high.sum()))
+        return sample.astype(self.dtype)
+
+    def contains(self, x) -> bool:
+        arr = np.asarray(x, dtype=np.float64)
+        if arr.shape != self.shape:
+            return False
+        return bool(np.all(arr >= self.low) and np.all(arr <= self.high))
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, Box) and other.shape == self.shape
+                and np.allclose(other.low, self.low) and np.allclose(other.high, self.high))
+
+    def __repr__(self) -> str:
+        return f"Box(shape={self.shape}, low={self.low.min():.3g}, high={self.high.max():.3g})"

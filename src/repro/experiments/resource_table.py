@@ -1,0 +1,84 @@
+"""Experiment E1: FPGA resource utilization of the OS-ELM Q-Network core (Table 3).
+
+Sweeps the hidden-layer size over the paper's values (32, 64, 128, 192, 256),
+runs the analytical area model against the xc7z020 and reports percent
+utilization of BRAM / DSP / FF / LUT — marking, like the paper, the 256-unit
+design as unimplementable because it exceeds the device's BRAM capacity.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.reporting import format_table, relative_error
+from repro.fpga.device import FPGADevice, XC7Z020
+from repro.fpga.resources import (
+    TABLE3_HIDDEN_SIZES,
+    TABLE3_PAPER_VALUES,
+    OSELMCoreResourceModel,
+    ResourceReport,
+)
+
+
+def resource_table(hidden_sizes: Sequence[int] = TABLE3_HIDDEN_SIZES, *,
+                   n_inputs: int = 5, n_outputs: int = 1,
+                   device: FPGADevice = XC7Z020,
+                   model: Optional[OSELMCoreResourceModel] = None) -> ResourceReport:
+    """Generate the Table-3 sweep with the analytical area model."""
+    if model is None:
+        model = OSELMCoreResourceModel(n_inputs=n_inputs, n_outputs=n_outputs)
+    return model.report(hidden_sizes, device)
+
+
+def compare_with_paper(report: Optional[ResourceReport] = None) -> List[Dict[str, object]]:
+    """Side-by-side rows: modelled utilization vs the paper's Table 3 values.
+
+    Rows for designs the paper marks as unimplementable compare the *fits*
+    flag instead of percentages.
+    """
+    if report is None:
+        report = resource_table()
+    rows: List[Dict[str, object]] = []
+    for n_hidden, paper_values in TABLE3_PAPER_VALUES.items():
+        try:
+            row = report.row_for(n_hidden)
+        except KeyError:
+            continue
+        if paper_values is None:
+            rows.append({
+                "Units": n_hidden,
+                "paper_fits": False,
+                "model_fits": row.fits,
+                "agreement": not row.fits,
+            })
+            continue
+        for resource, paper_pct in paper_values.items():
+            model_pct = row.utilization_percent[resource]
+            rows.append({
+                "Units": n_hidden,
+                "resource": resource,
+                "paper_percent": paper_pct,
+                "model_percent": round(model_pct, 2),
+                "relative_error": round(relative_error(model_pct, paper_pct), 3),
+            })
+    return rows
+
+
+def render_table3(report: Optional[ResourceReport] = None) -> str:
+    """Text rendering in the paper's Table 3 layout."""
+    if report is None:
+        report = resource_table()
+    rows = []
+    for row in report.rows:
+        cells: Dict[str, object] = {"Units": row.n_hidden}
+        if row.fits:
+            cells.update({f"{k} [%]": round(v, 2) for k, v in row.utilization_percent.items()})
+        else:
+            cells.update({f"{k} [%]": None for k in ("BRAM", "DSP", "FF", "LUT")})
+        rows.append(cells)
+    return format_table(
+        rows,
+        columns=["Units", "BRAM [%]", "DSP [%]", "FF [%]", "LUT [%]"],
+        title="Table 3: FPGA resource utilization of OS-ELM Q-Network core "
+              f"({report.device_name})",
+    )

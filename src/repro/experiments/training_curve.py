@@ -1,0 +1,167 @@
+"""Experiment E2: training curves of the six software designs (Figure 4).
+
+For each (design, hidden-layer size) pair the experiment trains an agent on
+CartPole-v0 with the paper's protocol and records the per-episode number of
+steps the pole stayed up plus its 100-episode moving average — the two
+series plotted as the light and dark lines of Figure 4.
+
+The paper runs each design to 50,000 episodes (or success) on the board; the
+harness exposes the same protocol but defaults to CI-scale budgets so the
+benchmark suite terminates quickly.  Use ``paper_scale()`` to get the
+full-scale configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.designs import SOFTWARE_DESIGNS, make_design
+from repro.experiments.reporting import format_table
+from repro.rl.recording import TrainingResult
+from repro.rl.runner import TrainingConfig, train_agent
+from repro.utils.logging import get_logger
+
+_LOGGER = get_logger("repro.experiments.training_curve")
+
+#: Hidden-layer sizes shown in Figure 4.
+FIGURE4_HIDDEN_SIZES: Tuple[int, ...] = (32, 64, 128, 192)
+
+
+@dataclass
+class TrainingCurveResult:
+    """All runs of one training-curve experiment, indexed by (design, n_hidden)."""
+
+    results: Dict[Tuple[str, int], TrainingResult] = field(default_factory=dict)
+
+    def add(self, result: TrainingResult) -> None:
+        self.results[(result.design, result.n_hidden)] = result
+
+    def get(self, design: str, n_hidden: int) -> TrainingResult:
+        return self.results[(design, n_hidden)]
+
+    def designs(self) -> List[str]:
+        return sorted({key[0] for key in self.results})
+
+    def hidden_sizes(self) -> List[int]:
+        return sorted({key[1] for key in self.results})
+
+    def curve_series(self, design: str, n_hidden: int) -> Dict[str, np.ndarray]:
+        """The (episodes, steps, moving_average) series for one panel line of Figure 4."""
+        return self.get(design, n_hidden).curve.as_dict()
+
+    def summary_rows(self) -> List[Dict[str, object]]:
+        rows = []
+        for (design, n_hidden), result in sorted(self.results.items(),
+                                                 key=lambda kv: (kv[0][1], kv[0][0])):
+            rows.append({
+                "design": design,
+                "n_hidden": n_hidden,
+                "solved": result.solved,
+                "episodes": result.episodes,
+                "episodes_to_solve": result.episodes_to_solve,
+                "final_avg_steps": round(result.curve.final_average(), 1),
+                "weight_resets": result.weight_resets,
+            })
+        return rows
+
+    def render(self) -> str:
+        return format_table(self.summary_rows(),
+                            title="Figure 4 summary: training outcome per design / hidden size")
+
+
+@dataclass(frozen=True)
+class TrainingCurveExperiment:
+    """Configuration + runner for the Figure 4 experiment.
+
+    Parameters
+    ----------
+    designs:
+        Subset of the software designs to run (all six by default).
+    hidden_sizes:
+        Hidden-layer sizes to sweep (Figure 4 uses 32–192).
+    training:
+        Protocol configuration; the default is a CI-scale budget.
+    seed:
+        Base seed; each (design, hidden) run derives its own seed from it.
+    """
+
+    designs: Sequence[str] = SOFTWARE_DESIGNS
+    hidden_sizes: Sequence[int] = FIGURE4_HIDDEN_SIZES
+    training: TrainingConfig = field(default_factory=lambda: TrainingConfig(max_episodes=300))
+    seed: int = 42
+    gamma: float = 0.99
+
+    @staticmethod
+    def paper_scale() -> "TrainingCurveExperiment":
+        """The full protocol of Section 4.3 (50,000-episode cutoff, 195/100 criterion)."""
+        return TrainingCurveExperiment(training=TrainingConfig(max_episodes=50_000))
+
+    @staticmethod
+    def ci_scale(designs: Sequence[str] = ("OS-ELM-L2-Lipschitz", "DQN"),
+                 hidden_sizes: Sequence[int] = (32,),
+                 max_episodes: int = 60) -> "TrainingCurveExperiment":
+        """A minutes-scale configuration used by the benchmark suite."""
+        return TrainingCurveExperiment(
+            designs=designs,
+            hidden_sizes=hidden_sizes,
+            training=TrainingConfig(max_episodes=max_episodes, solved_threshold=60.0,
+                                    solved_window=20),
+        )
+
+    # ------------------------------------------------------------------ execution
+    def run_single(self, design: str, n_hidden: int, *, trial: int = 0) -> TrainingResult:
+        """Train one (design, hidden-size) combination."""
+        seed = self.seed + 1000 * trial + 17 * n_hidden + abs(hash(design)) % 997
+        agent = make_design(design, n_hidden=n_hidden, gamma=self.gamma, seed=seed)
+        config = TrainingConfig(
+            env_id=self.training.env_id,
+            max_episodes=self.training.max_episodes,
+            max_steps_per_episode=self.training.max_steps_per_episode,
+            solved_threshold=self.training.solved_threshold,
+            solved_window=self.training.solved_window,
+            reward_shaping=self.training.reward_shaping,
+            success_steps=self.training.success_steps,
+            stop_when_solved=self.training.stop_when_solved,
+            record_lipschitz=self.training.record_lipschitz,
+            seed=seed,
+        )
+        _LOGGER.info("training", design=design, n_hidden=n_hidden,
+                     max_episodes=config.max_episodes)
+        return train_agent(agent, config=config, n_hidden=n_hidden)
+
+    def run(self) -> TrainingCurveResult:
+        """Run the full sweep and return the collected curves."""
+        collected = TrainingCurveResult()
+        for n_hidden in self.hidden_sizes:
+            for design in self.designs:
+                collected.add(self.run_single(design, int(n_hidden)))
+        return collected
+
+
+def stability_classification(result: TrainingResult, *, collapse_window: int = 50,
+                             collapse_threshold: float = 0.5) -> str:
+    """Classify a training curve the way Section 4.3 discusses them.
+
+    Returns one of:
+
+    * ``"solved"`` — reached the solved criterion;
+    * ``"collapsed"`` — the late moving average fell below ``collapse_threshold``
+      times the peak moving average (the paper's description of plain OS-ELM,
+      whose performance degrades as outliers corrupt beta);
+    * ``"not_learning"`` — never rose meaningfully above the initial performance.
+    """
+    if result.solved:
+        return "solved"
+    averages = result.curve.moving_average
+    if averages.size == 0:
+        return "not_learning"
+    peak = float(averages.max())
+    if peak <= 15.0:
+        return "not_learning"
+    tail = averages[-collapse_window:]
+    if tail.size and float(tail.mean()) < collapse_threshold * peak:
+        return "collapsed"
+    return "not_learning"

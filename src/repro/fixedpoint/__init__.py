@@ -1,0 +1,46 @@
+"""Fixed-point arithmetic modelling the paper's FPGA number format.
+
+Section 4.2 states that the OS-ELM Q-Network core uses a **32-bit Q20
+fixed-point format** (20 fractional bits, 11 integer bits, 1 sign bit) for
+input data, the weight matrices ``alpha`` and ``beta`` and all intermediate
+results.  This subpackage provides:
+
+* :class:`QFormat` — a signed Qm.n format descriptor with quantization,
+  saturation and rounding,
+* :class:`FixedPointArray` — an ndarray wrapper that stores raw integer
+  words and exposes real-valued views,
+* :mod:`repro.fixedpoint.ops` — matrix add / multiply / divide kernels that
+  quantize every intermediate exactly the way a single-accumulator hardware
+  datapath would, so the functional FPGA simulation reproduces the numerical
+  behaviour (including rounding error) of the Verilog core.
+"""
+
+from repro.fixedpoint.qformat import OverflowPolicy, Q20, QFormat, RoundingMode
+from repro.fixedpoint.array import FixedPointArray, quantize_array
+from repro.fixedpoint.ops import (
+    fixed_add,
+    fixed_divide,
+    fixed_dot,
+    fixed_matmul,
+    fixed_multiply,
+    fixed_outer,
+    fixed_reciprocal,
+    quantization_error,
+)
+
+__all__ = [
+    "OverflowPolicy",
+    "Q20",
+    "QFormat",
+    "RoundingMode",
+    "FixedPointArray",
+    "quantize_array",
+    "fixed_add",
+    "fixed_divide",
+    "fixed_dot",
+    "fixed_matmul",
+    "fixed_multiply",
+    "fixed_outer",
+    "fixed_reciprocal",
+    "quantization_error",
+]

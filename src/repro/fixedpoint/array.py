@@ -1,0 +1,152 @@
+"""A lightweight fixed-point ndarray wrapper.
+
+:class:`FixedPointArray` stores the raw integer words of a :class:`QFormat`
+and exposes real-valued views.  It intentionally supports only the operations
+the paper's FPGA core needs (add, multiply, divide, matmul via
+:mod:`repro.fixedpoint.ops`), each of which re-quantizes its result exactly
+like a fixed-width hardware datapath.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple, Union
+
+import numpy as np
+
+from repro.fixedpoint.qformat import Q20, QFormat
+
+ArrayLike = Union[float, int, Iterable, np.ndarray]
+
+
+def quantize_array(value: ArrayLike, fmt: QFormat = Q20) -> np.ndarray:
+    """Quantize real values onto ``fmt``'s grid and return them as float64."""
+    return fmt.quantize(np.asarray(value, dtype=np.float64))
+
+
+class FixedPointArray:
+    """An n-dimensional array of fixed-point numbers.
+
+    Parameters
+    ----------
+    value:
+        Real-valued data to quantize, or raw integer words when ``raw=True``.
+    fmt:
+        The fixed-point format (defaults to the paper's 32-bit Q20).
+    raw:
+        When true, ``value`` is interpreted as raw words rather than reals.
+    """
+
+    __slots__ = ("fmt", "_raw")
+
+    def __init__(self, value: ArrayLike, fmt: QFormat = Q20, *, raw: bool = False) -> None:
+        self.fmt = fmt
+        if raw:
+            self._raw = np.asarray(value, dtype=np.int64).copy()
+        else:
+            self._raw = fmt.to_raw(np.asarray(value, dtype=np.float64))
+
+    # ------------------------------------------------------------------ constructors
+    @classmethod
+    def zeros(cls, shape: Union[int, Tuple[int, ...]], fmt: QFormat = Q20) -> "FixedPointArray":
+        return cls(np.zeros(shape, dtype=np.int64), fmt, raw=True)
+
+    @classmethod
+    def eye(cls, n: int, fmt: QFormat = Q20, *, scale: float = 1.0) -> "FixedPointArray":
+        return cls(np.eye(n) * scale, fmt)
+
+    @classmethod
+    def from_raw(cls, raw: np.ndarray, fmt: QFormat = Q20) -> "FixedPointArray":
+        return cls(raw, fmt, raw=True)
+
+    # ------------------------------------------------------------------ views
+    @property
+    def raw(self) -> np.ndarray:
+        """Raw integer words (int64 view, do not mutate)."""
+        return self._raw
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self._raw.shape
+
+    @property
+    def ndim(self) -> int:
+        return self._raw.ndim
+
+    @property
+    def size(self) -> int:
+        return int(self._raw.size)
+
+    @property
+    def nbytes(self) -> int:
+        """Storage footprint at the nominal word width (not the int64 host width)."""
+        return self.size * ((self.fmt.total_bits + 7) // 8)
+
+    def to_float(self) -> np.ndarray:
+        """Real-valued (float64) copy of the array."""
+        return self.fmt.from_raw(self._raw)
+
+    def __array__(self, dtype=None) -> np.ndarray:
+        arr = self.to_float()
+        return arr.astype(dtype) if dtype is not None else arr
+
+    # ------------------------------------------------------------------ indexing
+    def __getitem__(self, key) -> "FixedPointArray":
+        sub = self._raw[key]
+        if np.isscalar(sub) or sub.ndim == 0:
+            return FixedPointArray(np.asarray(sub), self.fmt, raw=True)
+        return FixedPointArray(sub, self.fmt, raw=True)
+
+    def __setitem__(self, key, value) -> None:
+        if isinstance(value, FixedPointArray):
+            if value.fmt != self.fmt:
+                value = FixedPointArray(value.to_float(), self.fmt)
+            self._raw[key] = value.raw
+        else:
+            self._raw[key] = self.fmt.to_raw(np.asarray(value, dtype=np.float64))
+
+    # ------------------------------------------------------------------ helpers
+    def copy(self) -> "FixedPointArray":
+        return FixedPointArray(self._raw.copy(), self.fmt, raw=True)
+
+    def item(self) -> float:
+        return float(self.fmt.from_raw(self._raw).item())
+
+    def max_abs_error_vs(self, reference: np.ndarray) -> float:
+        """Maximum absolute difference between this array and a float reference."""
+        return float(np.max(np.abs(self.to_float() - np.asarray(reference, dtype=np.float64))))
+
+    def __len__(self) -> int:
+        return len(self._raw)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"FixedPointArray(shape={self.shape}, fmt={self.fmt.name})"
+
+    # ------------------------------------------------------------------ arithmetic (delegates to ops)
+    def __add__(self, other: Union["FixedPointArray", ArrayLike]) -> "FixedPointArray":
+        from repro.fixedpoint.ops import fixed_add
+        return fixed_add(self, _coerce(other, self.fmt), fmt=self.fmt)
+
+    def __sub__(self, other: Union["FixedPointArray", ArrayLike]) -> "FixedPointArray":
+        from repro.fixedpoint.ops import fixed_add
+        negated = FixedPointArray(-_coerce(other, self.fmt).to_float(), self.fmt)
+        return fixed_add(self, negated, fmt=self.fmt)
+
+    def __mul__(self, other: Union["FixedPointArray", ArrayLike]) -> "FixedPointArray":
+        from repro.fixedpoint.ops import fixed_multiply
+        return fixed_multiply(self, _coerce(other, self.fmt), fmt=self.fmt)
+
+    def __matmul__(self, other: Union["FixedPointArray", ArrayLike]) -> "FixedPointArray":
+        from repro.fixedpoint.ops import fixed_matmul
+        return fixed_matmul(self, _coerce(other, self.fmt), fmt=self.fmt)
+
+    def __truediv__(self, other: Union["FixedPointArray", ArrayLike]) -> "FixedPointArray":
+        from repro.fixedpoint.ops import fixed_divide
+        return fixed_divide(self, _coerce(other, self.fmt), fmt=self.fmt)
+
+
+def _coerce(value: Union[FixedPointArray, ArrayLike], fmt: QFormat) -> FixedPointArray:
+    if isinstance(value, FixedPointArray):
+        if value.fmt == fmt:
+            return value
+        return FixedPointArray(value.to_float(), fmt)
+    return FixedPointArray(value, fmt)

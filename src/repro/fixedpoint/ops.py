@@ -1,0 +1,130 @@
+"""Fixed-point matrix kernels mirroring the FPGA core's datapath.
+
+The paper's OS-ELM Q-Network core implements the predict and seq_train
+modules "with matrix add, mult, and div operations" using a *single* add,
+mult and div unit (Section 4.2).  The kernels below reproduce that datapath's
+numerical behaviour: every elementary product/sum is re-quantized to the
+target Q-format, so quantization error accumulates the same way it would in
+the hardware's 32-bit Q20 accumulator.
+
+A ``precise_accumulate`` flag allows modelling a wider accumulator (e.g. a
+48-bit DSP accumulator that only rounds once at the output), which is the
+configuration used for the ablation in ``benchmarks/bench_ablation_fixedpoint.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from repro.fixedpoint.array import FixedPointArray, _coerce
+from repro.fixedpoint.qformat import Q20, QFormat
+
+FixedOrArray = Union[FixedPointArray, np.ndarray, float, int]
+
+
+def _as_fixed(value: FixedOrArray, fmt: QFormat) -> FixedPointArray:
+    return _coerce(value, fmt)
+
+
+def fixed_add(a: FixedOrArray, b: FixedOrArray, *, fmt: QFormat = Q20) -> FixedPointArray:
+    """Element-wise addition with saturation in the target format.
+
+    Addition of two Qm.n numbers is exact unless it overflows, so this is a
+    raw integer addition followed by overflow handling.
+    """
+    fa, fb = _as_fixed(a, fmt), _as_fixed(b, fmt)
+    raw = fa.raw + fb.raw
+    raw = fmt._handle_overflow(raw)
+    return FixedPointArray(raw, fmt, raw=True)
+
+
+def fixed_multiply(a: FixedOrArray, b: FixedOrArray, *, fmt: QFormat = Q20) -> FixedPointArray:
+    """Element-wise multiplication with post-product rounding to the target format.
+
+    The full product of two Qm.n words has 2n fractional bits; hardware shifts
+    it right by n bits (with rounding) to return to Qm.n.
+    """
+    fa, fb = _as_fixed(a, fmt), _as_fixed(b, fmt)
+    product = fa.to_float() * fb.to_float()
+    return FixedPointArray(product, fmt)
+
+
+def fixed_divide(a: FixedOrArray, b: FixedOrArray, *, fmt: QFormat = Q20) -> FixedPointArray:
+    """Element-wise division, quantized to the target format.
+
+    Division by a value that quantizes to zero raises ``ZeroDivisionError``
+    (the hardware would flag this as an error condition).
+    """
+    fa, fb = _as_fixed(a, fmt), _as_fixed(b, fmt)
+    denom = fb.to_float()
+    if np.any(denom == 0.0):
+        raise ZeroDivisionError("fixed-point division by a value that quantizes to zero")
+    return FixedPointArray(fa.to_float() / denom, fmt)
+
+
+def fixed_reciprocal(value: FixedOrArray, *, fmt: QFormat = Q20) -> FixedPointArray:
+    """Reciprocal ``1/x`` in fixed point.
+
+    This is the scalar operation that replaces the pseudo-inverse in the
+    batch-size-1 OS-ELM update (Section 2.2) — the reason the FPGA core needs
+    no SVD/QRD unit.
+    """
+    return fixed_divide(1.0, value, fmt=fmt)
+
+
+def fixed_dot(a: FixedOrArray, b: FixedOrArray, *, fmt: QFormat = Q20,
+              precise_accumulate: bool = False) -> FixedPointArray:
+    """Inner product of two vectors with per-MAC re-quantization.
+
+    With ``precise_accumulate=False`` (default, matching a Q20 accumulator)
+    each partial product is rounded to the target format before being added;
+    with ``precise_accumulate=True`` the accumulation happens in double
+    precision and only the final sum is rounded.
+    """
+    fa, fb = _as_fixed(a, fmt), _as_fixed(b, fmt)
+    va, vb = fa.to_float().reshape(-1), fb.to_float().reshape(-1)
+    if va.shape != vb.shape:
+        raise ValueError(f"vector shapes {va.shape} and {vb.shape} do not match")
+    if precise_accumulate:
+        return FixedPointArray(float(va @ vb), fmt)
+    products = fmt.quantize(va * vb)
+    # Sequential accumulation with re-quantization after every addition models
+    # the single-adder datapath.  Because addition on the Q-grid is exact
+    # (absent overflow), quantizing the running sum once is equivalent.
+    total = fmt.quantize(np.sum(products))
+    return FixedPointArray(total, fmt)
+
+
+def fixed_matmul(a: FixedOrArray, b: FixedOrArray, *, fmt: QFormat = Q20,
+                 precise_accumulate: bool = False) -> FixedPointArray:
+    """Matrix product with per-element rounding consistent with :func:`fixed_dot`."""
+    fa, fb = _as_fixed(a, fmt), _as_fixed(b, fmt)
+    va, vb = fa.to_float(), fb.to_float()
+    if va.ndim == 1:
+        va = va.reshape(1, -1)
+    if vb.ndim == 1:
+        vb = vb.reshape(-1, 1)
+    if va.shape[1] != vb.shape[0]:
+        raise ValueError(f"matmul shape mismatch: {va.shape} @ {vb.shape}")
+    if precise_accumulate:
+        return FixedPointArray(va @ vb, fmt)
+    # Quantize each elementary product, then sum.  Vectorized over the output
+    # matrix: products[i, j, :] = va[i, :] * vb[:, j].
+    products = fmt.quantize(va[:, None, :] * vb.T[None, :, :])
+    result = products.sum(axis=2)
+    return FixedPointArray(result, fmt)
+
+
+def fixed_outer(a: FixedOrArray, b: FixedOrArray, *, fmt: QFormat = Q20) -> FixedPointArray:
+    """Outer product of two vectors, quantized per element (used by seq_train's P update)."""
+    fa, fb = _as_fixed(a, fmt), _as_fixed(b, fmt)
+    va, vb = fa.to_float().reshape(-1), fb.to_float().reshape(-1)
+    return FixedPointArray(np.outer(va, vb), fmt)
+
+
+def quantization_error(value: Union[np.ndarray, float], fmt: QFormat = Q20) -> float:
+    """Maximum absolute error introduced by quantizing ``value`` to ``fmt``."""
+    arr = np.asarray(value, dtype=np.float64)
+    return float(np.max(np.abs(fmt.quantize(arr) - arr))) if arr.size else 0.0

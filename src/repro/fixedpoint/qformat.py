@@ -1,0 +1,166 @@
+"""Signed Qm.n fixed-point format descriptor.
+
+A ``QFormat(total_bits, frac_bits)`` value is stored as a signed integer of
+``total_bits`` bits whose real value is ``raw / 2**frac_bits``.  The paper's
+core uses ``QFormat(32, 20)`` ("32-bit Q20 number"), giving a resolution of
+about 9.5e-7 and a representable range of roughly ±2048.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+from repro.utils.exceptions import ConfigurationError, FixedPointOverflowError
+
+ArrayLike = Union[float, int, np.ndarray]
+
+
+class RoundingMode(enum.Enum):
+    """How real values are mapped onto the fixed-point grid."""
+
+    NEAREST = "nearest"       #: round half away from zero (DSP-style rounding)
+    FLOOR = "floor"           #: truncate toward negative infinity (cheapest in hardware)
+    ZERO = "zero"             #: truncate toward zero
+
+
+class OverflowPolicy(enum.Enum):
+    """What happens when a value exceeds the representable range."""
+
+    SATURATE = "saturate"     #: clamp to the min/max representable value (typical DSP behaviour)
+    WRAP = "wrap"             #: two's-complement wrap-around
+    ERROR = "error"           #: raise :class:`FixedPointOverflowError`
+
+
+@dataclass(frozen=True)
+class QFormat:
+    """A signed fixed-point format with ``total_bits`` bits, ``frac_bits`` fractional.
+
+    Attributes
+    ----------
+    total_bits:
+        Word width including the sign bit (the paper uses 32).
+    frac_bits:
+        Number of fractional bits (the paper uses 20).
+    rounding:
+        Rounding mode applied during quantization.
+    overflow:
+        Overflow handling policy.
+    """
+
+    total_bits: int = 32
+    frac_bits: int = 20
+    rounding: RoundingMode = RoundingMode.NEAREST
+    overflow: OverflowPolicy = OverflowPolicy.SATURATE
+
+    def __post_init__(self) -> None:
+        if self.total_bits < 2 or self.total_bits > 64:
+            raise ConfigurationError(f"total_bits must be in [2, 64], got {self.total_bits}")
+        if self.frac_bits < 0 or self.frac_bits >= self.total_bits:
+            raise ConfigurationError(
+                f"frac_bits must be in [0, total_bits), got {self.frac_bits} for {self.total_bits} bits"
+            )
+
+    # ------------------------------------------------------------------ properties
+    @property
+    def int_bits(self) -> int:
+        """Integer bits excluding the sign bit."""
+        return self.total_bits - self.frac_bits - 1
+
+    @property
+    def scale(self) -> float:
+        """Real value of one least-significant bit (2**-frac_bits)."""
+        return float(2.0 ** (-self.frac_bits))
+
+    @property
+    def raw_min(self) -> int:
+        return -(1 << (self.total_bits - 1))
+
+    @property
+    def raw_max(self) -> int:
+        return (1 << (self.total_bits - 1)) - 1
+
+    @property
+    def min_value(self) -> float:
+        """Smallest representable real value."""
+        return self.raw_min * self.scale
+
+    @property
+    def max_value(self) -> float:
+        """Largest representable real value."""
+        return self.raw_max * self.scale
+
+    @property
+    def resolution(self) -> float:
+        """Alias for :attr:`scale` — the quantization step."""
+        return self.scale
+
+    @property
+    def name(self) -> str:
+        return f"Q{self.int_bits}.{self.frac_bits} ({self.total_bits}-bit)"
+
+    # ------------------------------------------------------------------ conversion
+    def _round(self, scaled: np.ndarray) -> np.ndarray:
+        if self.rounding is RoundingMode.NEAREST:
+            return np.where(scaled >= 0, np.floor(scaled + 0.5), np.ceil(scaled - 0.5))
+        if self.rounding is RoundingMode.FLOOR:
+            return np.floor(scaled)
+        return np.trunc(scaled)
+
+    def _handle_overflow(self, raw: np.ndarray) -> np.ndarray:
+        if self.overflow is OverflowPolicy.SATURATE:
+            return np.clip(raw, self.raw_min, self.raw_max)
+        if self.overflow is OverflowPolicy.WRAP:
+            span = 1 << self.total_bits
+            wrapped = np.mod(raw - self.raw_min, span) + self.raw_min
+            return wrapped
+        overflow = (raw < self.raw_min) | (raw > self.raw_max)
+        if np.any(overflow):
+            bad = np.asarray(raw)[overflow]
+            raise FixedPointOverflowError(
+                f"{bad.size} value(s) overflow {self.name}; first offending raw value {bad.flat[0]}"
+            )
+        return raw
+
+    def to_raw(self, value: ArrayLike) -> np.ndarray:
+        """Quantize real values to raw integer words (int64)."""
+        arr = np.asarray(value, dtype=np.float64)
+        if arr.size and not np.all(np.isfinite(arr)):
+            raise ValueError("cannot quantize NaN or Inf values")
+        scaled = arr * (2.0 ** self.frac_bits)
+        raw = self._round(scaled)
+        raw = self._handle_overflow(raw)
+        return raw.astype(np.int64)
+
+    def from_raw(self, raw: ArrayLike) -> np.ndarray:
+        """Convert raw integer words back to real values (float64)."""
+        return np.asarray(raw, dtype=np.float64) * self.scale
+
+    def quantize(self, value: ArrayLike) -> np.ndarray:
+        """Round-trip real values through the fixed-point grid."""
+        return self.from_raw(self.to_raw(value))
+
+    def representable(self, value: ArrayLike, *, tol: float = 0.0) -> np.ndarray:
+        """Element-wise check that values survive quantization unchanged (within ``tol``)."""
+        arr = np.asarray(value, dtype=np.float64)
+        return np.abs(self.quantize(arr) - arr) <= tol + 1e-15
+
+    def with_policy(self, *, rounding: RoundingMode = None,
+                    overflow: OverflowPolicy = None) -> "QFormat":
+        """Return a copy with a different rounding and/or overflow policy."""
+        return QFormat(
+            self.total_bits,
+            self.frac_bits,
+            rounding if rounding is not None else self.rounding,
+            overflow if overflow is not None else self.overflow,
+        )
+
+    def __str__(self) -> str:
+        return self.name
+
+
+#: The paper's number format: 32-bit word with 20 fractional bits.
+Q20 = QFormat(total_bits=32, frac_bits=20)

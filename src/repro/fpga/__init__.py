@@ -1,0 +1,56 @@
+"""FPGA platform models: the PYNQ-Z1 substitute.
+
+The paper implements the OS-ELM Q-Network's ``predict`` and ``seq_train``
+modules in the programmable logic (PL) of a Xilinx PYNQ-Z1 board
+(xc7z020clg400-1, 125 MHz) while the initial training runs on the board's
+650 MHz Cortex-A9.  Since that hardware is not available here, this
+subpackage provides:
+
+* :mod:`repro.fpga.device` — the device/board catalog (resource capacities,
+  clock rates),
+* :mod:`repro.fpga.resources` — an analytical area model of the OS-ELM core
+  calibrated against Table 3,
+* :mod:`repro.fpga.timing` — cycle-count / latency models of the PL core and
+  of software execution on the Cortex-A9 (the basis of Figures 5 and 6),
+* :mod:`repro.fpga.core_sim` — a bit-accurate (32-bit Q20) functional
+  simulation of the predict / seq_train datapath,
+* :mod:`repro.fpga.accelerator` — :class:`FPGAAcceleratedOSELM`, a drop-in
+  OS-ELM replacement that computes with the fixed-point core and accumulates
+  modelled PL latency,
+* :mod:`repro.fpga.platform` — the combined PYNQ-Z1 platform object used by
+  the execution-time experiments.
+"""
+
+from repro.fpga.device import (
+    PYNQ_Z1,
+    XC7Z020,
+    FPGADevice,
+    PlatformSpec,
+    ResourceVector,
+)
+from repro.fpga.resources import OSELMCoreResourceModel, ResourceReport, UtilizationRow
+from repro.fpga.timing import (
+    CortexA9LatencyModel,
+    FPGACoreLatencyModel,
+    OperationLatency,
+)
+from repro.fpga.core_sim import FixedPointOSELMCore
+from repro.fpga.accelerator import FPGAAcceleratedOSELM
+from repro.fpga.platform import PynqZ1Platform
+
+__all__ = [
+    "PYNQ_Z1",
+    "XC7Z020",
+    "FPGADevice",
+    "PlatformSpec",
+    "ResourceVector",
+    "OSELMCoreResourceModel",
+    "ResourceReport",
+    "UtilizationRow",
+    "CortexA9LatencyModel",
+    "FPGACoreLatencyModel",
+    "OperationLatency",
+    "FixedPointOSELMCore",
+    "FPGAAcceleratedOSELM",
+    "PynqZ1Platform",
+]

@@ -1,0 +1,126 @@
+"""FPGA device and board catalog.
+
+Resource capacities are those of the Xilinx Zynq-7020 (xc7z020clg400-1), the
+device on the PYNQ-Z1 board the paper targets: 53,200 LUTs, 106,400
+flip-flops, 140 36-Kbit block RAMs and 220 DSP48E1 slices, with a dual-core
+Cortex-A9 PS running at 650 MHz and 512 MB of DDR3 (the paper's Table 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.utils.exceptions import ResourceExhaustedError
+
+
+@dataclass(frozen=True)
+class ResourceVector:
+    """A bundle of the four FPGA resource types tracked by Table 3."""
+
+    bram_36k: float = 0.0
+    dsp: float = 0.0
+    ff: float = 0.0
+    lut: float = 0.0
+
+    def __add__(self, other: "ResourceVector") -> "ResourceVector":
+        return ResourceVector(
+            self.bram_36k + other.bram_36k,
+            self.dsp + other.dsp,
+            self.ff + other.ff,
+            self.lut + other.lut,
+        )
+
+    def scaled(self, factor: float) -> "ResourceVector":
+        return ResourceVector(self.bram_36k * factor, self.dsp * factor,
+                              self.ff * factor, self.lut * factor)
+
+    def utilization(self, capacity: "ResourceVector") -> Dict[str, float]:
+        """Percentage utilization of each resource against ``capacity``."""
+        def pct(used: float, avail: float) -> float:
+            return 100.0 * used / avail if avail > 0 else float("inf")
+        return {
+            "BRAM": pct(self.bram_36k, capacity.bram_36k),
+            "DSP": pct(self.dsp, capacity.dsp),
+            "FF": pct(self.ff, capacity.ff),
+            "LUT": pct(self.lut, capacity.lut),
+        }
+
+    def fits_in(self, capacity: "ResourceVector") -> bool:
+        return (self.bram_36k <= capacity.bram_36k and self.dsp <= capacity.dsp
+                and self.ff <= capacity.ff and self.lut <= capacity.lut)
+
+    def as_dict(self) -> Dict[str, float]:
+        return {"BRAM": self.bram_36k, "DSP": self.dsp, "FF": self.ff, "LUT": self.lut}
+
+
+@dataclass(frozen=True)
+class FPGADevice:
+    """A programmable-logic device with fixed resource capacities."""
+
+    name: str
+    capacity: ResourceVector
+    default_clock_hz: float = 100e6
+
+    def check_fit(self, required: ResourceVector) -> None:
+        """Raise :class:`ResourceExhaustedError` if ``required`` exceeds any capacity."""
+        for resource, used in required.as_dict().items():
+            available = self.capacity.as_dict()[resource]
+            if used > available:
+                raise ResourceExhaustedError(
+                    f"design needs {used:.0f} {resource} but {self.name} provides "
+                    f"only {available:.0f}",
+                    resource=resource, required=used, available=available,
+                )
+
+    def utilization(self, required: ResourceVector) -> Dict[str, float]:
+        return required.utilization(self.capacity)
+
+
+@dataclass(frozen=True)
+class PlatformSpec:
+    """A board: an FPGA device plus its processing system (the paper's Table 1)."""
+
+    name: str
+    device: FPGADevice
+    cpu_name: str
+    cpu_clock_hz: float
+    ram_bytes: int
+    pl_clock_hz: float
+    os_name: str = "PYNQ Linux (Ubuntu 18.04 based)"
+
+    @property
+    def cpu_clock_mhz(self) -> float:
+        return self.cpu_clock_hz / 1e6
+
+    @property
+    def pl_clock_mhz(self) -> float:
+        return self.pl_clock_hz / 1e6
+
+    def summary(self) -> Dict[str, object]:
+        """Rows of the paper's Table 1 (experimental-machine specification)."""
+        return {
+            "OS": self.os_name,
+            "CPU": f"{self.cpu_name} ({self.cpu_clock_mhz:.0f}MHz)",
+            "RAM": f"{self.ram_bytes // (1024 * 1024)}MB",
+            "FPGA device": self.device.name,
+            "PL clock": f"{self.pl_clock_mhz:.0f}MHz",
+        }
+
+
+#: The Zynq-7020 programmable logic (target device xc7z020clg400-1).
+XC7Z020 = FPGADevice(
+    name="xc7z020clg400-1",
+    capacity=ResourceVector(bram_36k=140, dsp=220, ff=106_400, lut=53_200),
+    default_clock_hz=125e6,
+)
+
+#: The PYNQ-Z1 board used throughout Section 4.
+PYNQ_Z1 = PlatformSpec(
+    name="PYNQ-Z1",
+    device=XC7Z020,
+    cpu_name="Cortex-A9 processor",
+    cpu_clock_hz=650e6,
+    ram_bytes=512 * 1024 * 1024,
+    pl_clock_hz=125e6,
+)

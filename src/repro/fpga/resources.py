@@ -1,0 +1,189 @@
+"""Analytical area model of the OS-ELM Q-Network core (Table 3).
+
+The core stores its working set in on-chip block RAM (Section 4.2): the
+inverse-Gram matrix ``P`` (N x N), a same-sized ping-pong copy and two
+N x N work buffers for the rank-1 update, plus the small vectors (alpha,
+bias, beta, the input row and intermediates) which fit in distributed
+LUT RAM.  With 32-bit words the BRAM requirement is therefore dominated by
+``4 * N^2 * 32`` bits, which reproduces Table 3's qualitative behaviour —
+quadratic growth, 192 units just fitting (91% BRAM) and 256 units exceeding
+the xc7z020's 140 blocks.
+
+The datapath uses a single multiplier (4 DSP48E1 slices for a 32x32-bit
+product), independent of N — matching the constant 1.82% DSP utilization of
+Table 3 — while flip-flop and LUT usage grow slowly with N (wider address
+counters, bank multiplexing), modelled linearly and calibrated against the
+paper's reported percentages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.fixedpoint.qformat import Q20, QFormat
+from repro.fpga.device import FPGADevice, ResourceVector, XC7Z020
+from repro.utils.exceptions import ResourceExhaustedError
+
+#: Bits per 36-Kbit block RAM.
+BRAM36_BITS = 36 * 1024
+
+#: Hidden-layer sizes reported in Table 3.
+TABLE3_HIDDEN_SIZES = (32, 64, 128, 192, 256)
+
+#: The paper's Table 3 (percent utilization; None marks the unimplementable design).
+TABLE3_PAPER_VALUES: Dict[int, Optional[Dict[str, float]]] = {
+    32: {"BRAM": 2.86, "DSP": 1.82, "FF": 1.49, "LUT": 3.52},
+    64: {"BRAM": 11.43, "DSP": 1.82, "FF": 4.5, "LUT": 5.0},
+    128: {"BRAM": 45.71, "DSP": 1.82, "FF": 4.5, "LUT": 7.93},
+    192: {"BRAM": 91.43, "DSP": 1.82, "FF": 6.44, "LUT": 11.03},
+    256: None,
+}
+
+
+@dataclass(frozen=True)
+class UtilizationRow:
+    """One row of the resource-utilization table."""
+
+    n_hidden: int
+    required: ResourceVector
+    utilization_percent: Dict[str, float]
+    fits: bool
+
+    def as_row(self) -> Dict[str, object]:
+        row: Dict[str, object] = {"Units": self.n_hidden}
+        if self.fits:
+            row.update({k: round(v, 2) for k, v in self.utilization_percent.items()})
+        else:
+            row.update({k: None for k in ("BRAM", "DSP", "FF", "LUT")})
+        return row
+
+
+@dataclass
+class ResourceReport:
+    """A full Table-3-style report over a sweep of hidden-layer sizes."""
+
+    device_name: str
+    rows: List[UtilizationRow] = field(default_factory=list)
+
+    def row_for(self, n_hidden: int) -> UtilizationRow:
+        for row in self.rows:
+            if row.n_hidden == n_hidden:
+                return row
+        raise KeyError(f"no row for {n_hidden} hidden units")
+
+    def as_table(self) -> List[Dict[str, object]]:
+        return [row.as_row() for row in self.rows]
+
+    @property
+    def largest_fitting(self) -> int:
+        fitting = [row.n_hidden for row in self.rows if row.fits]
+        return max(fitting) if fitting else 0
+
+
+@dataclass(frozen=True)
+class OSELMCoreResourceModel:
+    """Area model of the combined predict + seq_train core.
+
+    Parameters
+    ----------
+    n_inputs, n_outputs:
+        Network input/output sizes (5 and 1 for the CartPole Q-network).
+    qformat:
+        Word format (32-bit Q20 by default).
+    n_matrix_buffers:
+        Number of N x N arrays held in BRAM (P, its ping-pong copy and two
+        work buffers by default).
+    """
+
+    n_inputs: int = 5
+    n_outputs: int = 1
+    qformat: QFormat = Q20
+    n_matrix_buffers: int = 4
+    multiplier_dsp: int = 4          #: DSP48E1 slices for one 32x32 multiplier
+    base_ff: float = 530.0
+    ff_per_unit: float = 32.9
+    base_lut: float = 1450.0
+    lut_per_unit: float = 18.0
+
+    # ------------------------------------------------------------------ storage
+    def bram_bits(self, n_hidden: int) -> int:
+        """Bits of block-RAM storage required for the N x N working set."""
+        if n_hidden <= 0:
+            raise ValueError("n_hidden must be positive")
+        word = self.qformat.total_bits
+        return self.n_matrix_buffers * n_hidden * n_hidden * word
+
+    def distributed_ram_bits(self, n_hidden: int) -> int:
+        """Bits of small-array storage assumed to live in LUT RAM (alpha, bias, beta, buffers)."""
+        word = self.qformat.total_bits
+        vectors = (
+            self.n_inputs * n_hidden      # alpha
+            + n_hidden                    # bias
+            + n_hidden * self.n_outputs   # beta
+            + self.n_inputs               # input row
+            + 3 * n_hidden                # h, P h, work vector
+        )
+        return vectors * word
+
+    def bram_blocks(self, n_hidden: int) -> int:
+        """Number of 36-Kbit BRAMs required."""
+        return int(np.ceil(self.bram_bits(n_hidden) / BRAM36_BITS))
+
+    # ------------------------------------------------------------------ logic
+    def dsp_slices(self, n_hidden: int) -> int:
+        """DSP slices — constant because the core has a single multiply unit."""
+        return self.multiplier_dsp
+
+    def flip_flops(self, n_hidden: int) -> float:
+        return self.base_ff + self.ff_per_unit * n_hidden
+
+    def luts(self, n_hidden: int) -> float:
+        # Distributed RAM adds LUT cost: one LUT stores 64 bits in RAM64 mode.
+        lutram = self.distributed_ram_bits(n_hidden) / 64.0
+        return self.base_lut + self.lut_per_unit * n_hidden + lutram
+
+    # ------------------------------------------------------------------ reports
+    def required_resources(self, n_hidden: int) -> ResourceVector:
+        return ResourceVector(
+            bram_36k=self.bram_blocks(n_hidden),
+            dsp=self.dsp_slices(n_hidden),
+            ff=self.flip_flops(n_hidden),
+            lut=self.luts(n_hidden),
+        )
+
+    def utilization(self, n_hidden: int, device: FPGADevice = XC7Z020) -> UtilizationRow:
+        required = self.required_resources(n_hidden)
+        return UtilizationRow(
+            n_hidden=n_hidden,
+            required=required,
+            utilization_percent=device.utilization(required),
+            fits=required.fits_in(device.capacity),
+        )
+
+    def check_fit(self, n_hidden: int, device: FPGADevice = XC7Z020) -> None:
+        """Raise :class:`ResourceExhaustedError` when the design cannot be implemented."""
+        device.check_fit(self.required_resources(n_hidden))
+
+    def max_hidden_units(self, device: FPGADevice = XC7Z020, *, limit: int = 4096) -> int:
+        """Largest hidden-layer size that fits the device (binary search on the model)."""
+        low, high = 1, limit
+        if not self.required_resources(low).fits_in(device.capacity):
+            return 0
+        while low < high:
+            mid = (low + high + 1) // 2
+            if self.required_resources(mid).fits_in(device.capacity):
+                low = mid
+            else:
+                high = mid - 1
+        return low
+
+    def report(self, hidden_sizes: Sequence[int] = TABLE3_HIDDEN_SIZES,
+               device: FPGADevice = XC7Z020) -> ResourceReport:
+        """Generate the Table-3-style sweep."""
+        report = ResourceReport(device_name=device.name)
+        for n_hidden in hidden_sizes:
+            report.rows.append(self.utilization(int(n_hidden), device))
+        return report

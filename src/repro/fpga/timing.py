@@ -1,0 +1,188 @@
+"""Latency models for the CPU (Cortex-A9) and the programmable-logic core.
+
+Figures 5 and 6 of the paper report the execution time to complete the
+CartPole task, broken down by operation.  Because those times were measured
+on the PYNQ-Z1 board (and, for the FPGA design, through RTL simulation), the
+reproduction projects them with analytical latency models:
+
+* :class:`CortexA9LatencyModel` — a roofline-ish model of NumPy-style
+  execution on the 650 MHz Cortex-A9: every operation costs a fixed
+  interpreter/dispatch overhead per library call plus its arithmetic work at
+  an effective MAC rate.
+* :class:`FPGACoreLatencyModel` — a cycle-count model of the Verilog core:
+  a single multiply-accumulate unit processes one elementary operation per
+  cycle at 125 MHz, plus an AXI/driver invocation overhead paid by the CPU
+  each time it kicks the core.
+
+Both models deliberately expose their constants so the ablation benchmarks
+can sweep them; the defaults are calibrated so that the *relative* behaviour
+(ordering of the designs, growth with the hidden-layer size, which operation
+dominates) matches the paper's Figures 5 and 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class OperationLatency:
+    """Latency of one operation split into overhead and compute parts."""
+
+    operation: str
+    overhead_seconds: float
+    compute_seconds: float
+
+    @property
+    def seconds(self) -> float:
+        return self.overhead_seconds + self.compute_seconds
+
+
+def _mlp_layer_sizes(n_states: int, n_hidden: int, n_actions: int) -> tuple:
+    """Layer dimensions of the paper's three-layer DQN."""
+    return ((n_states, n_hidden), (n_hidden, n_hidden), (n_hidden, n_actions))
+
+
+@dataclass(frozen=True)
+class CortexA9LatencyModel:
+    """Software latency on the PYNQ-Z1's 650 MHz Cortex-A9.
+
+    Attributes
+    ----------
+    clock_hz:
+        CPU clock (650 MHz).
+    macs_per_cycle:
+        Effective multiply-accumulates retired per cycle through
+        NumPy/PyTorch, including cache effects (well below 1 on the A9).
+    call_overhead_seconds:
+        Interpreter + library dispatch overhead per vectorised call.
+    """
+
+    clock_hz: float = 650e6
+    macs_per_cycle: float = 0.05
+    call_overhead_seconds: float = 2.5e-4
+
+    def __post_init__(self) -> None:
+        check_positive(self.clock_hz, name="clock_hz")
+        check_positive(self.macs_per_cycle, name="macs_per_cycle")
+        check_positive(self.call_overhead_seconds, name="call_overhead_seconds", strict=False)
+
+    # ------------------------------------------------------------------ helpers
+    @property
+    def seconds_per_mac(self) -> float:
+        return 1.0 / (self.clock_hz * self.macs_per_cycle)
+
+    def _latency(self, operation: str, macs: float, n_calls: int) -> OperationLatency:
+        return OperationLatency(operation, n_calls * self.call_overhead_seconds,
+                                macs * self.seconds_per_mac)
+
+    # ------------------------------------------------------------------ OS-ELM operations
+    def predict(self, n_inputs: int, n_hidden: int, n_outputs: int = 1) -> OperationLatency:
+        """One forward pass of the single-hidden-layer network (one input row)."""
+        macs = n_inputs * n_hidden + n_hidden * n_outputs + n_hidden
+        return self._latency("predict", macs, n_calls=3)
+
+    def seq_train(self, n_hidden: int, n_outputs: int = 1) -> OperationLatency:
+        """One batch-size-1 sequential update (Equations 5–6, Sherman–Morrison form)."""
+        macs = 3 * n_hidden * n_hidden + 8 * n_hidden * max(n_outputs, 1)
+        return self._latency("seq_train", macs, n_calls=8)
+
+    def init_train(self, n_inputs: int, n_hidden: int, chunk_size: int,
+                   n_outputs: int = 1) -> OperationLatency:
+        """Initial training on a chunk of ``chunk_size`` rows (Equation 7/8)."""
+        macs = (
+            chunk_size * n_inputs * n_hidden          # hidden-layer matrix H0
+            + chunk_size * n_hidden * n_hidden        # gram matrix H0^T H0
+            + n_hidden**3 / 3.0                       # Cholesky inverse
+            + chunk_size * n_hidden * n_outputs * 2   # beta0 = P0 H0^T T0
+        )
+        return self._latency("init_train", macs, n_calls=6)
+
+    # ------------------------------------------------------------------ DQN operations
+    def dqn_predict(self, n_states: int, n_hidden: int, n_actions: int,
+                    batch_size: int = 1) -> OperationLatency:
+        """Forward pass of the three-layer DQN for a batch."""
+        macs = batch_size * sum(a * b for a, b in _mlp_layer_sizes(n_states, n_hidden, n_actions))
+        return self._latency(f"predict_{batch_size}", macs, n_calls=6)
+
+    def dqn_train(self, n_states: int, n_hidden: int, n_actions: int,
+                  batch_size: int = 32) -> OperationLatency:
+        """Forward + backward + Adam update on one replay minibatch."""
+        forward = batch_size * sum(a * b for a, b in _mlp_layer_sizes(n_states, n_hidden, n_actions))
+        # Backward pass costs roughly twice the forward pass; Adam touches every weight.
+        weights = sum(a * b for a, b in _mlp_layer_sizes(n_states, n_hidden, n_actions))
+        macs = 3 * forward + 5 * weights
+        return self._latency("train_DQN", macs, n_calls=20)
+
+
+@dataclass(frozen=True)
+class FPGACoreLatencyModel:
+    """Cycle-count latency of the Verilog predict / seq_train core.
+
+    The core has a single add, a single multiply and a single divide unit
+    (Section 4.2), so elementary operations are serialised: the cycle count
+    is essentially the number of multiply-accumulates plus a small pipeline
+    ramp per matrix pass.  Each invocation also pays a CPU-side driver /
+    AXI transfer overhead.
+    """
+
+    clock_hz: float = 125e6
+    pipeline_fill_cycles: int = 16        #: per matrix/vector pass
+    divide_cycles: int = 32               #: latency of the single divide unit
+    invocation_overhead_seconds: float = 2.0e-5
+
+    def __post_init__(self) -> None:
+        check_positive(self.clock_hz, name="clock_hz")
+        check_positive(self.invocation_overhead_seconds,
+                       name="invocation_overhead_seconds", strict=False)
+
+    @property
+    def cycle_seconds(self) -> float:
+        return 1.0 / self.clock_hz
+
+    # ------------------------------------------------------------------ cycle counts
+    def predict_cycles(self, n_inputs: int, n_hidden: int, n_outputs: int = 1) -> int:
+        """Cycles for one forward pass: x@alpha (+bias, activation), then H@beta."""
+        hidden_pass = n_inputs * n_hidden + n_hidden + self.pipeline_fill_cycles
+        output_pass = n_hidden * n_outputs + self.pipeline_fill_cycles
+        return int(hidden_pass + output_pass)
+
+    def seq_train_cycles(self, n_hidden: int, n_outputs: int = 1) -> int:
+        """Cycles for one batch-size-1 update.
+
+        ``P h`` (N^2 MACs), the scalar denominator (N MACs + one divide), the
+        rank-1 update of P (N^2 multiplies + N^2 subtractions folded into the
+        same pass), and the beta update (≈3 N m MACs).
+        """
+        n = n_hidden
+        cycles = (
+            n * n + self.pipeline_fill_cycles          # P h
+            + n + self.divide_cycles                   # h (P h), reciprocal
+            + 2 * n * n + self.pipeline_fill_cycles    # P -= (P h)(h P) * recip
+            + 3 * n * max(n_outputs, 1) + self.pipeline_fill_cycles  # beta update
+        )
+        return int(cycles)
+
+    # ------------------------------------------------------------------ latencies
+    def predict(self, n_inputs: int, n_hidden: int, n_outputs: int = 1) -> OperationLatency:
+        cycles = self.predict_cycles(n_inputs, n_hidden, n_outputs)
+        return OperationLatency("predict", self.invocation_overhead_seconds,
+                                cycles * self.cycle_seconds)
+
+    def seq_train(self, n_hidden: int, n_outputs: int = 1) -> OperationLatency:
+        cycles = self.seq_train_cycles(n_hidden, n_outputs)
+        return OperationLatency("seq_train", self.invocation_overhead_seconds,
+                                cycles * self.cycle_seconds)
+
+    def throughput_updates_per_second(self, n_hidden: int) -> float:
+        """Peak sequential-training throughput of the core (ignoring the CPU side)."""
+        return 1.0 / self.seq_train(n_hidden).seconds
+
+    def cycles_summary(self, n_hidden: int, n_inputs: int = 5) -> Dict[str, int]:
+        return {
+            "predict": self.predict_cycles(n_inputs, n_hidden),
+            "seq_train": self.seq_train_cycles(n_hidden),
+        }

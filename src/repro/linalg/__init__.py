@@ -1,0 +1,45 @@
+"""Numerical linear-algebra kernels shared by ELM / OS-ELM and the FPGA models.
+
+These are the building blocks of the paper's training algorithms:
+
+* regularized pseudo-inverse / normal-equation solves (ELM, Equation 3;
+  ReOS-ELM, Equation 8),
+* the rank-k Woodbury / rank-1 Sherman–Morrison update of the inverse
+  covariance ``P`` (OS-ELM, Equations 5–6),
+* the spectral norm (largest singular value) used by the spectral
+  normalization of ``alpha`` and the Lipschitz-constant accounting
+  (Section 3.3).
+"""
+
+from repro.linalg.incremental import (
+    RecursiveInverse,
+    sherman_morrison_update,
+    woodbury_update,
+)
+from repro.linalg.pseudo_inverse import (
+    pinv,
+    regularized_gram_inverse,
+    ridge_solve,
+)
+from repro.linalg.solvers import solve_posdef, solve_small_system
+from repro.linalg.spectral import (
+    lipschitz_constant_relu_network,
+    power_iteration,
+    spectral_norm,
+    spectral_normalize,
+)
+
+__all__ = [
+    "RecursiveInverse",
+    "sherman_morrison_update",
+    "woodbury_update",
+    "pinv",
+    "regularized_gram_inverse",
+    "ridge_solve",
+    "solve_posdef",
+    "solve_small_system",
+    "lipschitz_constant_relu_network",
+    "power_iteration",
+    "spectral_norm",
+    "spectral_normalize",
+]

@@ -1,0 +1,51 @@
+"""A small NumPy neural-network framework (the PyTorch substitute).
+
+The paper's baseline is a three-layer DQN trained with backpropagation, the
+Adam optimizer (learning rate 0.01) and the Huber loss.  This subpackage
+provides exactly the pieces that baseline needs — dense layers, ReLU/tanh
+activations, MSE/Huber losses, SGD/Adam optimizers and a sequential
+multi-layer perceptron with reverse-mode gradients — implemented with plain
+NumPy so the whole reproduction runs on a laptop with no deep-learning
+framework installed.
+"""
+
+from repro.nn.activations import Activation, Identity, ReLU, Sigmoid, Tanh, get_activation
+from repro.nn.initializers import (
+    he_normal,
+    he_uniform,
+    uniform,
+    xavier_normal,
+    xavier_uniform,
+    zeros,
+)
+from repro.nn.layers import Dense, Layer
+from repro.nn.losses import HuberLoss, Loss, MeanSquaredError, get_loss
+from repro.nn.network import MLP, Sequential
+from repro.nn.optimizers import SGD, Adam, Optimizer, get_optimizer
+
+__all__ = [
+    "Activation",
+    "Identity",
+    "ReLU",
+    "Sigmoid",
+    "Tanh",
+    "get_activation",
+    "he_normal",
+    "he_uniform",
+    "uniform",
+    "xavier_normal",
+    "xavier_uniform",
+    "zeros",
+    "Dense",
+    "Layer",
+    "HuberLoss",
+    "Loss",
+    "MeanSquaredError",
+    "get_loss",
+    "MLP",
+    "Sequential",
+    "SGD",
+    "Adam",
+    "Optimizer",
+    "get_optimizer",
+]

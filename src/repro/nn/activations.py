@@ -1,0 +1,126 @@
+"""Activation functions with forward and derivative evaluation.
+
+The paper uses ReLU as the activation ``G`` in both the ELM/OS-ELM hidden
+layer and the DQN baseline; tanh and sigmoid are provided because they are
+the classical ELM activations and are 1-Lipschitz (relevant to the
+Lipschitz-constant discussion in Section 2.5).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Activation:
+    """Base class: a differentiable element-wise function."""
+
+    name = "activation"
+    #: Lipschitz constant of the activation (<= 1 for all provided activations).
+    lipschitz_constant = 1.0
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def derivative(self, x: np.ndarray) -> np.ndarray:
+        """Derivative with respect to the pre-activation ``x``."""
+        raise NotImplementedError
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(np.asarray(x, dtype=np.float64))
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class ReLU(Activation):
+    """Rectified linear unit ``G(x) = max(x, 0)`` (the paper's activation)."""
+
+    name = "relu"
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return np.maximum(x, 0.0)
+
+    def derivative(self, x: np.ndarray) -> np.ndarray:
+        return (x > 0.0).astype(np.float64)
+
+
+class Tanh(Activation):
+    """Hyperbolic tangent."""
+
+    name = "tanh"
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return np.tanh(x)
+
+    def derivative(self, x: np.ndarray) -> np.ndarray:
+        t = np.tanh(x)
+        return 1.0 - t * t
+
+
+class Sigmoid(Activation):
+    """Logistic sigmoid (Lipschitz constant 1/4)."""
+
+    name = "sigmoid"
+    lipschitz_constant = 0.25
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        out = np.empty_like(x, dtype=np.float64)
+        pos = x >= 0
+        out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+        expx = np.exp(x[~pos])
+        out[~pos] = expx / (1.0 + expx)
+        return out
+
+    def derivative(self, x: np.ndarray) -> np.ndarray:
+        s = self.forward(x)
+        return s * (1.0 - s)
+
+
+class Identity(Activation):
+    """Linear pass-through (output layers of regression networks)."""
+
+    name = "identity"
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return np.asarray(x, dtype=np.float64)
+
+    def derivative(self, x: np.ndarray) -> np.ndarray:
+        return np.ones_like(x, dtype=np.float64)
+
+
+class LeakyReLU(Activation):
+    """Leaky ReLU with configurable negative slope."""
+
+    name = "leaky_relu"
+
+    def __init__(self, negative_slope: float = 0.01) -> None:
+        if negative_slope < 0:
+            raise ValueError("negative_slope must be non-negative")
+        self.negative_slope = float(negative_slope)
+        self.lipschitz_constant = max(1.0, self.negative_slope)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return np.where(x >= 0, x, self.negative_slope * x)
+
+    def derivative(self, x: np.ndarray) -> np.ndarray:
+        return np.where(x >= 0, 1.0, self.negative_slope)
+
+
+_ACTIVATIONS = {
+    "relu": ReLU,
+    "tanh": Tanh,
+    "sigmoid": Sigmoid,
+    "identity": Identity,
+    "linear": Identity,
+    "leaky_relu": LeakyReLU,
+}
+
+
+def get_activation(name_or_instance) -> Activation:
+    """Resolve an activation from a name string or pass through an instance."""
+    if isinstance(name_or_instance, Activation):
+        return name_or_instance
+    name = str(name_or_instance).lower()
+    if name not in _ACTIVATIONS:
+        raise ValueError(f"unknown activation {name!r}; choose from {sorted(_ACTIVATIONS)}")
+    return _ACTIVATIONS[name]()

@@ -1,0 +1,79 @@
+"""Weight initializers.
+
+ELM / OS-ELM initialise their input weights ``alpha`` with uniform random
+values in [0, 1] (Algorithm 1, line 1); the DQN baseline uses He/Xavier
+initialisation appropriate for ReLU hidden layers.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def uniform(shape: Tuple[int, ...], rng: np.random.Generator, *, low: float = 0.0,
+            high: float = 1.0) -> np.ndarray:
+    """Uniform initialisation in [low, high) — the paper's alpha initialiser with defaults."""
+    if low >= high:
+        raise ValueError(f"low ({low}) must be < high ({high})")
+    return rng.uniform(low, high, size=shape)
+
+
+def zeros(shape: Tuple[int, ...], rng: np.random.Generator = None) -> np.ndarray:
+    """All-zero initialisation (biases, initial beta before training)."""
+    return np.zeros(shape, dtype=np.float64)
+
+
+def _fan_in_out(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    if len(shape) == 2:
+        return shape[0], shape[1]
+    receptive = int(np.prod(shape[2:]))
+    return shape[1] * receptive, shape[0] * receptive
+
+
+def xavier_uniform(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation (suited to tanh/sigmoid layers)."""
+    fan_in, fan_out = _fan_in_out(shape)
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def xavier_normal(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier normal initialisation."""
+    fan_in, fan_out = _fan_in_out(shape)
+    std = np.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=shape)
+
+
+def he_uniform(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """He uniform initialisation (suited to ReLU layers, used by the DQN baseline)."""
+    fan_in, _ = _fan_in_out(shape)
+    limit = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def he_normal(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """He normal initialisation."""
+    fan_in, _ = _fan_in_out(shape)
+    std = np.sqrt(2.0 / fan_in)
+    return rng.normal(0.0, std, size=shape)
+
+
+_INITIALIZERS = {
+    "uniform": uniform,
+    "zeros": zeros,
+    "xavier_uniform": xavier_uniform,
+    "xavier_normal": xavier_normal,
+    "he_uniform": he_uniform,
+    "he_normal": he_normal,
+}
+
+
+def get_initializer(name: str):
+    """Look up an initializer by name."""
+    if name not in _INITIALIZERS:
+        raise ValueError(f"unknown initializer {name!r}; choose from {sorted(_INITIALIZERS)}")
+    return _INITIALIZERS[name]

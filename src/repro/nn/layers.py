@@ -1,0 +1,127 @@
+"""Trainable layers for the NumPy backprop framework."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.nn.activations import Activation, Identity, get_activation
+from repro.nn.initializers import get_initializer
+from repro.utils.exceptions import ShapeError
+
+
+class Layer:
+    """Base class for layers participating in forward / backward passes."""
+
+    def forward(self, x: np.ndarray, *, training: bool = True) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        """Propagate ``dL/d(output)`` to ``dL/d(input)``, caching parameter grads."""
+        raise NotImplementedError
+
+    @property
+    def parameters(self) -> Dict[str, np.ndarray]:
+        """Trainable parameters keyed by name (empty for stateless layers)."""
+        return {}
+
+    @property
+    def gradients(self) -> Dict[str, np.ndarray]:
+        """Gradients matching :attr:`parameters` (populated by ``backward``)."""
+        return {}
+
+    @property
+    def n_parameters(self) -> int:
+        return int(sum(p.size for p in self.parameters.values()))
+
+
+class Dense(Layer):
+    """Fully-connected layer ``y = activation(x W + b)``.
+
+    Parameters
+    ----------
+    n_inputs, n_outputs:
+        Layer dimensions.
+    activation:
+        Activation name or instance (defaults to identity).
+    rng:
+        Generator used for weight initialisation.
+    weight_init:
+        Initializer name (default ``"he_uniform"``, appropriate for the ReLU
+        networks used by the DQN baseline).
+    use_bias:
+        Whether to include the additive bias term.
+    """
+
+    def __init__(self, n_inputs: int, n_outputs: int, activation=None, *,
+                 rng: Optional[np.random.Generator] = None,
+                 weight_init: str = "he_uniform", use_bias: bool = True) -> None:
+        if n_inputs <= 0 or n_outputs <= 0:
+            raise ValueError("n_inputs and n_outputs must be positive")
+        rng = rng if rng is not None else np.random.default_rng(0)
+        initializer = get_initializer(weight_init)
+        self.n_inputs = int(n_inputs)
+        self.n_outputs = int(n_outputs)
+        self.activation: Activation = get_activation(activation) if activation is not None else Identity()
+        self.use_bias = bool(use_bias)
+        self.weights = initializer((self.n_inputs, self.n_outputs), rng)
+        self.bias = np.zeros(self.n_outputs) if self.use_bias else None
+        self._grad_weights = np.zeros_like(self.weights)
+        self._grad_bias = np.zeros(self.n_outputs) if self.use_bias else None
+        self._cache_input: Optional[np.ndarray] = None
+        self._cache_preact: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------ forward/backward
+    def forward(self, x: np.ndarray, *, training: bool = True) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim == 1:
+            x = x.reshape(1, -1)
+        if x.shape[1] != self.n_inputs:
+            raise ShapeError(
+                f"Dense layer expects {self.n_inputs} inputs, got {x.shape[1]}"
+            )
+        preact = x @ self.weights
+        if self.use_bias:
+            preact = preact + self.bias
+        if training:
+            self._cache_input = x
+            self._cache_preact = preact
+        return self.activation.forward(preact)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache_input is None or self._cache_preact is None:
+            raise RuntimeError("backward called before forward(training=True)")
+        grad_output = np.asarray(grad_output, dtype=np.float64)
+        if grad_output.ndim == 1:
+            grad_output = grad_output.reshape(1, -1)
+        grad_preact = grad_output * self.activation.derivative(self._cache_preact)
+        self._grad_weights = self._cache_input.T @ grad_preact
+        if self.use_bias:
+            self._grad_bias = grad_preact.sum(axis=0)
+        return grad_preact @ self.weights.T
+
+    # ------------------------------------------------------------------ parameter access
+    @property
+    def parameters(self) -> Dict[str, np.ndarray]:
+        params = {"weights": self.weights}
+        if self.use_bias:
+            params["bias"] = self.bias
+        return params
+
+    @property
+    def gradients(self) -> Dict[str, np.ndarray]:
+        grads = {"weights": self._grad_weights}
+        if self.use_bias:
+            grads["bias"] = self._grad_bias
+        return grads
+
+    def set_parameters(self, params: Dict[str, np.ndarray]) -> None:
+        """Overwrite parameters in place (used for target-network synchronisation)."""
+        self.weights[...] = np.asarray(params["weights"], dtype=np.float64)
+        if self.use_bias and "bias" in params:
+            self.bias[...] = np.asarray(params["bias"], dtype=np.float64)
+
+    def __repr__(self) -> str:
+        return (f"Dense({self.n_inputs}, {self.n_outputs}, "
+                f"activation={self.activation.name}, bias={self.use_bias})")

@@ -1,0 +1,87 @@
+"""Loss functions with gradients.
+
+The DQN baseline uses the Huber loss (Equations 14–15 of the paper); the MSE
+loss is provided both for testing and because the OS-ELM analysis (Equation
+4/11) is framed as a squared-error minimisation.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+class Loss:
+    """Base class: scalar loss plus gradient with respect to the prediction."""
+
+    name = "loss"
+
+    def forward(self, prediction: np.ndarray, target: np.ndarray) -> float:
+        raise NotImplementedError
+
+    def backward(self, prediction: np.ndarray, target: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def __call__(self, prediction: np.ndarray, target: np.ndarray
+                 ) -> Tuple[float, np.ndarray]:
+        prediction = np.asarray(prediction, dtype=np.float64)
+        target = np.asarray(target, dtype=np.float64)
+        if prediction.shape != target.shape:
+            raise ValueError(
+                f"prediction shape {prediction.shape} != target shape {target.shape}"
+            )
+        return self.forward(prediction, target), self.backward(prediction, target)
+
+
+class MeanSquaredError(Loss):
+    """Mean squared error ``mean((y - t)^2) / 2`` with gradient ``(y - t) / n``."""
+
+    name = "mse"
+
+    def forward(self, prediction: np.ndarray, target: np.ndarray) -> float:
+        diff = prediction - target
+        return float(0.5 * np.mean(diff * diff))
+
+    def backward(self, prediction: np.ndarray, target: np.ndarray) -> np.ndarray:
+        return (prediction - target) / prediction.size
+
+
+class HuberLoss(Loss):
+    """Huber loss (Equation 14/15): quadratic inside ``delta``, linear outside.
+
+    With ``delta=1`` this is exactly the paper's DQN loss: ``z_i = (x-y)^2/2``
+    when ``|x-y| < 1`` and ``|x-y| - 1/2`` otherwise, averaged over elements.
+    """
+
+    name = "huber"
+
+    def __init__(self, delta: float = 1.0) -> None:
+        if delta <= 0:
+            raise ValueError(f"delta must be positive, got {delta}")
+        self.delta = float(delta)
+
+    def forward(self, prediction: np.ndarray, target: np.ndarray) -> float:
+        diff = prediction - target
+        abs_diff = np.abs(diff)
+        quadratic = 0.5 * diff * diff
+        linear = self.delta * (abs_diff - 0.5 * self.delta)
+        return float(np.mean(np.where(abs_diff < self.delta, quadratic, linear)))
+
+    def backward(self, prediction: np.ndarray, target: np.ndarray) -> np.ndarray:
+        diff = prediction - target
+        grad = np.clip(diff, -self.delta, self.delta)
+        return grad / prediction.size
+
+
+_LOSSES = {"mse": MeanSquaredError, "huber": HuberLoss}
+
+
+def get_loss(name_or_instance) -> Loss:
+    """Resolve a loss from a name string or pass through an instance."""
+    if isinstance(name_or_instance, Loss):
+        return name_or_instance
+    name = str(name_or_instance).lower()
+    if name not in _LOSSES:
+        raise ValueError(f"unknown loss {name!r}; choose from {sorted(_LOSSES)}")
+    return _LOSSES[name]()

@@ -1,0 +1,147 @@
+"""Sequential multi-layer perceptron with reverse-mode gradients."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.linalg.spectral import lipschitz_constant_relu_network
+from repro.nn.layers import Dense, Layer
+from repro.nn.losses import Loss, get_loss
+from repro.nn.optimizers import Optimizer, get_optimizer
+
+
+class Sequential:
+    """A stack of layers evaluated in order, trained with backpropagation."""
+
+    def __init__(self, layers: Sequence[Layer]) -> None:
+        if not layers:
+            raise ValueError("Sequential requires at least one layer")
+        self.layers: List[Layer] = list(layers)
+
+    # ------------------------------------------------------------------ inference
+    def forward(self, x: np.ndarray, *, training: bool = False) -> np.ndarray:
+        out = np.asarray(x, dtype=np.float64)
+        for layer in self.layers:
+            out = layer.forward(out, training=training)
+        return out
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Inference-mode forward pass (no caches are written)."""
+        return self.forward(x, training=False)
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.predict(x)
+
+    # ------------------------------------------------------------------ training
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        grad = np.asarray(grad_output, dtype=np.float64)
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def train_step(self, x: np.ndarray, target: np.ndarray, loss: Loss,
+                   optimizer: Optimizer) -> float:
+        """One forward/backward/update cycle; returns the scalar loss value."""
+        prediction = self.forward(x, training=True)
+        target = np.asarray(target, dtype=np.float64)
+        if target.ndim == 1:
+            target = target.reshape(prediction.shape)
+        loss_value, grad = loss(prediction, target)
+        self.backward(grad)
+        optimizer.step(self.layers)
+        return loss_value
+
+    # ------------------------------------------------------------------ parameter management
+    def get_parameters(self) -> List[Dict[str, np.ndarray]]:
+        """Deep copies of every layer's parameters (for target-network snapshots)."""
+        return [
+            {name: param.copy() for name, param in layer.parameters.items()}
+            for layer in self.layers
+        ]
+
+    def set_parameters(self, parameters: List[Dict[str, np.ndarray]]) -> None:
+        """Load parameters previously produced by :meth:`get_parameters`."""
+        if len(parameters) != len(self.layers):
+            raise ValueError(
+                f"expected parameters for {len(self.layers)} layers, got {len(parameters)}"
+            )
+        for layer, params in zip(self.layers, parameters):
+            if hasattr(layer, "set_parameters"):
+                layer.set_parameters(params)
+
+    @property
+    def n_parameters(self) -> int:
+        return int(sum(layer.n_parameters for layer in self.layers))
+
+    def weight_matrices(self) -> List[np.ndarray]:
+        """All dense-layer weight matrices (for Lipschitz-constant accounting)."""
+        return [layer.weights for layer in self.layers if isinstance(layer, Dense)]
+
+    def lipschitz_upper_bound(self) -> float:
+        """Product of per-layer spectral norms (Section 2.5's bound)."""
+        return lipschitz_constant_relu_network(self.weight_matrices())
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(layer) for layer in self.layers)
+        return f"Sequential([{inner}])"
+
+
+class MLP(Sequential):
+    """Convenience constructor for a fully-connected network.
+
+    ``MLP(4, [64, 64], 2)`` builds the paper's three-layer DQN topology for
+    CartPole: 4 state inputs, two hidden ReLU layers and 2 Q-value outputs.
+    """
+
+    def __init__(self, n_inputs: int, hidden_sizes: Sequence[int], n_outputs: int, *,
+                 hidden_activation: str = "relu", output_activation: str = "identity",
+                 rng: Optional[np.random.Generator] = None,
+                 weight_init: str = "he_uniform") -> None:
+        rng = rng if rng is not None else np.random.default_rng(0)
+        sizes = [int(n_inputs)] + [int(h) for h in hidden_sizes] + [int(n_outputs)]
+        if any(s <= 0 for s in sizes):
+            raise ValueError(f"all layer sizes must be positive, got {sizes}")
+        layers: List[Layer] = []
+        for i in range(len(sizes) - 1):
+            is_output = i == len(sizes) - 2
+            layers.append(
+                Dense(
+                    sizes[i],
+                    sizes[i + 1],
+                    activation=output_activation if is_output else hidden_activation,
+                    rng=rng,
+                    weight_init=weight_init,
+                )
+            )
+        super().__init__(layers)
+        self.n_inputs = int(n_inputs)
+        self.n_outputs = int(n_outputs)
+        self.hidden_sizes = tuple(int(h) for h in hidden_sizes)
+
+    def fit_regression(self, x: np.ndarray, y: np.ndarray, *, epochs: int = 100,
+                       loss: str = "mse", optimizer: Optional[Optimizer] = None,
+                       batch_size: Optional[int] = None,
+                       rng: Optional[np.random.Generator] = None) -> List[float]:
+        """Small batch-gradient-descent training loop (used by tests and examples)."""
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if y.ndim == 1:
+            y = y.reshape(-1, 1)
+        loss_fn = get_loss(loss)
+        opt = optimizer if optimizer is not None else get_optimizer("adam", learning_rate=0.01)
+        rng = rng if rng is not None else np.random.default_rng(0)
+        history: List[float] = []
+        n = x.shape[0]
+        batch = n if batch_size is None else min(int(batch_size), n)
+        for _ in range(int(epochs)):
+            idx = rng.permutation(n)
+            epoch_loss = 0.0
+            n_batches = 0
+            for start in range(0, n, batch):
+                sel = idx[start:start + batch]
+                epoch_loss += self.train_step(x[sel], y[sel], loss_fn, opt)
+                n_batches += 1
+            history.append(epoch_loss / max(n_batches, 1))
+        return history

@@ -1,0 +1,104 @@
+"""Gradient-descent optimizers.
+
+The paper trains the DQN baseline with Adam at a learning rate of 0.01;
+plain SGD (with optional momentum) is included for comparison tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.nn.layers import Layer
+
+
+class Optimizer:
+    """Base optimizer operating on a list of layers' parameters/gradients."""
+
+    def __init__(self, learning_rate: float) -> None:
+        if learning_rate <= 0:
+            raise ValueError(f"learning_rate must be positive, got {learning_rate}")
+        self.learning_rate = float(learning_rate)
+        self.steps = 0
+
+    def step(self, layers: List[Layer]) -> None:
+        """Apply one update using the gradients cached in ``layers``."""
+        self.steps += 1
+        for layer_index, layer in enumerate(layers):
+            params = layer.parameters
+            grads = layer.gradients
+            for name, param in params.items():
+                grad = grads.get(name)
+                if grad is None:
+                    continue
+                self._update_parameter(f"{layer_index}.{name}", param, grad)
+
+    def _update_parameter(self, key: str, param: np.ndarray, grad: np.ndarray) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional classical momentum."""
+
+    def __init__(self, learning_rate: float = 0.01, momentum: float = 0.0) -> None:
+        super().__init__(learning_rate)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = float(momentum)
+        self._velocity: Dict[str, np.ndarray] = {}
+
+    def _update_parameter(self, key: str, param: np.ndarray, grad: np.ndarray) -> None:
+        if self.momentum > 0:
+            velocity = self._velocity.setdefault(key, np.zeros_like(param))
+            velocity *= self.momentum
+            velocity -= self.learning_rate * grad
+            param += velocity
+        else:
+            param -= self.learning_rate * grad
+
+
+class Adam(Optimizer):
+    """Adam optimizer (Kingma & Ba, 2015) — the paper's DQN optimizer (lr=0.01)."""
+
+    def __init__(self, learning_rate: float = 0.01, beta1: float = 0.9,
+                 beta2: float = 0.999, epsilon: float = 1e-8) -> None:
+        super().__init__(learning_rate)
+        if not 0.0 <= beta1 < 1.0:
+            raise ValueError(f"beta1 must be in [0, 1), got {beta1}")
+        if not 0.0 <= beta2 < 1.0:
+            raise ValueError(f"beta2 must be in [0, 1), got {beta2}")
+        if epsilon <= 0:
+            raise ValueError(f"epsilon must be positive, got {epsilon}")
+        self.beta1 = float(beta1)
+        self.beta2 = float(beta2)
+        self.epsilon = float(epsilon)
+        self._m: Dict[str, np.ndarray] = {}
+        self._v: Dict[str, np.ndarray] = {}
+        self._t: Dict[str, int] = {}
+
+    def _update_parameter(self, key: str, param: np.ndarray, grad: np.ndarray) -> None:
+        m = self._m.setdefault(key, np.zeros_like(param))
+        v = self._v.setdefault(key, np.zeros_like(param))
+        t = self._t.get(key, 0) + 1
+        self._t[key] = t
+        m *= self.beta1
+        m += (1.0 - self.beta1) * grad
+        v *= self.beta2
+        v += (1.0 - self.beta2) * grad * grad
+        m_hat = m / (1.0 - self.beta1**t)
+        v_hat = v / (1.0 - self.beta2**t)
+        param -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)
+
+
+_OPTIMIZERS = {"sgd": SGD, "adam": Adam}
+
+
+def get_optimizer(name_or_instance, **kwargs) -> Optimizer:
+    """Resolve an optimizer from a name string (with kwargs) or pass an instance through."""
+    if isinstance(name_or_instance, Optimizer):
+        return name_or_instance
+    name = str(name_or_instance).lower()
+    if name not in _OPTIMIZERS:
+        raise ValueError(f"unknown optimizer {name!r}; choose from {sorted(_OPTIMIZERS)}")
+    return _OPTIMIZERS[name](**kwargs)

@@ -1,0 +1,24 @@
+"""Reinforcement-learning training infrastructure.
+
+The runner drives any :class:`~repro.core.agents.QLearningAgent` (the ELM /
+OS-ELM designs, the DQN baseline or the FPGA-accelerated agent) against a
+:class:`~repro.envs.core.Env`, applying the paper's protocol: shaped rewards
+for the clipped Q-targets, the 100-episode moving-average solved criterion,
+the 300-episode stall-reset rule and the 50,000-episode "impossible" cutoff.
+"""
+
+from repro.rl.recording import EpisodeRecord, TrainingCurve, TrainingResult
+from repro.rl.runner import TrainingConfig, evaluate_agent, train_agent
+from repro.rl.schedule import ConstantSchedule, ExponentialDecaySchedule, LinearSchedule
+
+__all__ = [
+    "EpisodeRecord",
+    "TrainingCurve",
+    "TrainingResult",
+    "TrainingConfig",
+    "evaluate_agent",
+    "train_agent",
+    "ConstantSchedule",
+    "ExponentialDecaySchedule",
+    "LinearSchedule",
+]

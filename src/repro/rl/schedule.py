@@ -1,0 +1,60 @@
+"""Parameter schedules (exploration / learning-rate decay).
+
+The paper keeps ``epsilon_1`` and ``epsilon_2`` constant, so the constant
+schedule is the one actually used by the reproduction; linear and exponential
+decay schedules are provided for the extension experiments (e.g. annealed
+exploration on MountainCar, where constant exploration is insufficient).
+"""
+
+from __future__ import annotations
+
+from repro.utils.validation import check_positive
+
+
+class Schedule:
+    """Maps a step index to a parameter value."""
+
+    def value(self, step: int) -> float:
+        raise NotImplementedError
+
+    def __call__(self, step: int) -> float:
+        if step < 0:
+            raise ValueError(f"step must be non-negative, got {step}")
+        return self.value(step)
+
+
+class ConstantSchedule(Schedule):
+    """Always returns the same value."""
+
+    def __init__(self, value: float) -> None:
+        self._value = float(value)
+
+    def value(self, step: int) -> float:
+        return self._value
+
+
+class LinearSchedule(Schedule):
+    """Linear interpolation from ``start`` to ``end`` over ``duration`` steps."""
+
+    def __init__(self, start: float, end: float, duration: int) -> None:
+        self.start = float(start)
+        self.end = float(end)
+        self.duration = int(check_positive(duration, name="duration"))
+
+    def value(self, step: int) -> float:
+        fraction = min(step / self.duration, 1.0)
+        return self.start + fraction * (self.end - self.start)
+
+
+class ExponentialDecaySchedule(Schedule):
+    """Exponential decay from ``start`` toward ``end`` with per-step ``decay`` factor."""
+
+    def __init__(self, start: float, end: float, decay: float) -> None:
+        if not 0.0 < decay < 1.0:
+            raise ValueError(f"decay must be in (0, 1), got {decay}")
+        self.start = float(start)
+        self.end = float(end)
+        self.decay = float(decay)
+
+    def value(self, step: int) -> float:
+        return self.end + (self.start - self.end) * (self.decay ** step)

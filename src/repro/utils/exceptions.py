@@ -1,0 +1,41 @@
+"""Exception hierarchy shared across the library."""
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class ShapeError(ReproError, ValueError):
+    """An array argument has an incompatible shape or dimensionality."""
+
+
+class NotFittedError(ReproError, RuntimeError):
+    """A model method requiring prior training was called before training.
+
+    Raised, for example, when ``OSELM.predict`` or ``OSELM.partial_fit`` is
+    called before the initial training phase (Equation 7/8 of the paper) has
+    been completed.
+    """
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A configuration value is invalid or inconsistent with other settings."""
+
+
+class ResourceExhaustedError(ReproError, RuntimeError):
+    """An FPGA design does not fit in the target device.
+
+    Mirrors the paper's Table 3 entry for 256 hidden units, which exceeds the
+    BRAM capacity of the xc7z020 and therefore cannot be implemented.
+    """
+
+    def __init__(self, message: str, *, resource: str = "", required: float = 0.0,
+                 available: float = 0.0) -> None:
+        super().__init__(message)
+        self.resource = resource
+        self.required = required
+        self.available = available
+
+
+class FixedPointOverflowError(ReproError, OverflowError):
+    """A fixed-point value exceeded the representable range under ``error`` policy."""

@@ -1,0 +1,81 @@
+"""Minimal structured logging.
+
+The library avoids the stdlib ``logging`` global configuration so that it can
+be embedded in experiment harnesses and benchmark runs without fighting over
+handlers.  Loggers write to a stream (stderr by default) with a compact
+``[level] name: message key=value`` format.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Any, Dict, Optional, TextIO
+
+_LEVELS = {"debug": 10, "info": 20, "warning": 30, "error": 40, "off": 100}
+_GLOBAL_LEVEL = "info"
+_REGISTRY: Dict[str, "Logger"] = {}
+
+
+def set_global_level(level: str) -> None:
+    """Set the default level applied to loggers that have no explicit level."""
+    global _GLOBAL_LEVEL
+    if level not in _LEVELS:
+        raise ValueError(f"unknown log level {level!r}; choose from {sorted(_LEVELS)}")
+    _GLOBAL_LEVEL = level
+
+
+class Logger:
+    """A tiny named logger with key=value structured suffixes."""
+
+    def __init__(self, name: str, level: Optional[str] = None,
+                 stream: Optional[TextIO] = None) -> None:
+        self.name = name
+        self._level = level
+        self._stream = stream
+        self._start = time.perf_counter()
+
+    @property
+    def level(self) -> str:
+        return self._level if self._level is not None else _GLOBAL_LEVEL
+
+    @level.setter
+    def level(self, value: str) -> None:
+        if value not in _LEVELS:
+            raise ValueError(f"unknown log level {value!r}")
+        self._level = value
+
+    def _emit(self, level: str, message: str, fields: Dict[str, Any]) -> None:
+        if _LEVELS[level] < _LEVELS[self.level]:
+            return
+        stream = self._stream if self._stream is not None else sys.stderr
+        elapsed = time.perf_counter() - self._start
+        suffix = ""
+        if fields:
+            suffix = " " + " ".join(f"{k}={_format_value(v)}" for k, v in fields.items())
+        stream.write(f"[{level:>7s} {elapsed:9.3f}s] {self.name}: {message}{suffix}\n")
+
+    def debug(self, message: str, **fields: Any) -> None:
+        self._emit("debug", message, fields)
+
+    def info(self, message: str, **fields: Any) -> None:
+        self._emit("info", message, fields)
+
+    def warning(self, message: str, **fields: Any) -> None:
+        self._emit("warning", message, fields)
+
+    def error(self, message: str, **fields: Any) -> None:
+        self._emit("error", message, fields)
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def get_logger(name: str) -> Logger:
+    """Return (and cache) the logger registered under ``name``."""
+    if name not in _REGISTRY:
+        _REGISTRY[name] = Logger(name)
+    return _REGISTRY[name]

@@ -1,0 +1,114 @@
+"""Deterministic random-number management.
+
+The paper's algorithms are sensitive to the random input weights ``alpha``
+(ELM / OS-ELM never update them), to epsilon-greedy exploration and to the
+random-update gate.  Every stochastic component in this library therefore
+takes an explicit ``numpy.random.Generator`` so experiments are reproducible
+bit-for-bit given a seed.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple, Union
+
+import numpy as np
+
+SeedLike = Union[None, int, np.random.SeedSequence, np.random.Generator]
+
+
+def np_random(seed: SeedLike = None) -> Tuple[np.random.Generator, int]:
+    """Create a :class:`numpy.random.Generator` from a flexible seed spec.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` (entropy from the OS), an integer, a ``SeedSequence`` or an
+        existing ``Generator`` (returned unchanged).
+
+    Returns
+    -------
+    (generator, seed_used):
+        The generator plus the integer actually used to seed it (useful for
+        logging / experiment records).  When an existing generator is passed
+        the returned seed is ``-1`` because its entropy is not recoverable.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed, -1
+    if isinstance(seed, np.random.SeedSequence):
+        entropy = seed.entropy if isinstance(seed.entropy, int) else -1
+        return np.random.default_rng(seed), int(entropy)
+    if seed is None:
+        seed_seq = np.random.SeedSequence()
+        entropy = seed_seq.entropy
+        used = int(entropy) % (2**63) if isinstance(entropy, int) else 0
+        return np.random.default_rng(seed_seq), used
+    if not isinstance(seed, (int, np.integer)):
+        raise TypeError(f"seed must be None, int, SeedSequence or Generator, got {type(seed)!r}")
+    if seed < 0:
+        raise ValueError(f"seed must be non-negative, got {seed}")
+    return np.random.default_rng(int(seed)), int(seed)
+
+
+def derive_rng(rng: np.random.Generator, *keys: Union[int, str]) -> np.random.Generator:
+    """Derive an independent child generator from ``rng`` and a key path.
+
+    Used to give each component (alpha initialisation, exploration, random
+    update, environment dynamics) its own stream so that changing one
+    component's consumption pattern does not perturb the others.
+    """
+    material = []
+    for key in keys:
+        if isinstance(key, str):
+            material.extend(key.encode("utf-8"))
+        else:
+            material.append(int(key) & 0xFFFFFFFF)
+    spawn_key = rng.integers(0, 2**32 - 1, size=4, dtype=np.uint32).tolist()
+    seq = np.random.SeedSequence(entropy=spawn_key, spawn_key=tuple(material) or (0,))
+    return np.random.default_rng(seq)
+
+
+class SeedSequenceFactory:
+    """Spawn reproducible per-component / per-trial generators from one root seed.
+
+    Example
+    -------
+    >>> factory = SeedSequenceFactory(1234)
+    >>> env_rng = factory.generator("env", trial=0)
+    >>> agent_rng = factory.generator("agent", trial=0)
+    """
+
+    def __init__(self, root_seed: Optional[int] = None) -> None:
+        if root_seed is not None and root_seed < 0:
+            raise ValueError("root_seed must be non-negative")
+        self._root = np.random.SeedSequence(root_seed)
+        self.root_seed = root_seed
+
+    def _key_to_ints(self, *keys: Union[int, str]) -> Tuple[int, ...]:
+        out = []
+        for key in keys:
+            if isinstance(key, str):
+                # Stable 32-bit hash (FNV-1a) so spawn keys do not depend on
+                # Python's randomised string hashing.
+                acc = 0x811C9DC5
+                for byte in key.encode("utf-8"):
+                    acc = ((acc ^ byte) * 0x01000193) & 0xFFFFFFFF
+                out.append(acc)
+            else:
+                out.append(int(key) & 0xFFFFFFFF)
+        return tuple(out) if out else (0,)
+
+    def sequence(self, *keys: Union[int, str], trial: int = 0) -> np.random.SeedSequence:
+        """Return a child ``SeedSequence`` for a component + trial index."""
+        spawn_key = self._key_to_ints(*keys) + (int(trial),)
+        return np.random.SeedSequence(entropy=self._root.entropy, spawn_key=spawn_key)
+
+    def generator(self, *keys: Union[int, str], trial: int = 0) -> np.random.Generator:
+        """Return a generator seeded by :meth:`sequence`."""
+        return np.random.default_rng(self.sequence(*keys, trial=trial))
+
+    def trial_generators(self, component: str, n_trials: int) -> Iterator[np.random.Generator]:
+        """Yield one independent generator per trial for a named component."""
+        if n_trials < 0:
+            raise ValueError("n_trials must be non-negative")
+        for trial in range(n_trials):
+            yield self.generator(component, trial=trial)

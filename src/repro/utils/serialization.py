@@ -1,0 +1,59 @@
+"""Model / experiment-result serialization helpers (JSON + ``.npz``)."""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Mapping, Union
+
+import numpy as np
+
+PathLike = Union[str, os.PathLike]
+
+
+class _NumpyJSONEncoder(json.JSONEncoder):
+    """JSON encoder that understands NumPy scalars and arrays."""
+
+    def default(self, o: Any) -> Any:  # noqa: D102 - inherited
+        if isinstance(o, np.integer):
+            return int(o)
+        if isinstance(o, np.floating):
+            return float(o)
+        if isinstance(o, np.bool_):
+            return bool(o)
+        if isinstance(o, np.ndarray):
+            return o.tolist()
+        return super().default(o)
+
+
+def save_json(path: PathLike, data: Mapping[str, Any], *, indent: int = 2) -> Path:
+    """Serialize ``data`` to JSON, creating parent directories as needed."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(data, handle, indent=indent, cls=_NumpyJSONEncoder, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_json(path: PathLike) -> Dict[str, Any]:
+    """Load a JSON document produced by :func:`save_json`."""
+    with Path(path).open("r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def save_arrays(path: PathLike, arrays: Mapping[str, np.ndarray]) -> Path:
+    """Save named arrays to a compressed ``.npz`` archive."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(path, **{k: np.asarray(v) for k, v in arrays.items()})
+    return path
+
+
+def load_arrays(path: PathLike) -> Dict[str, np.ndarray]:
+    """Load a ``.npz`` archive into a plain dict of arrays."""
+    with np.load(Path(path), allow_pickle=False) as archive:
+        return {name: archive[name] for name in archive.files}

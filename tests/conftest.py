@@ -1,0 +1,42 @@
+"""Shared pytest fixtures for the reproduction test suite."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+# Allow running the tests from a source checkout without installation.
+_SRC = Path(__file__).resolve().parents[1] / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator shared by numerical tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_regression_data(rng):
+    """A small smooth regression problem solvable by a single-hidden-layer network."""
+    x = rng.uniform(-1.0, 1.0, size=(200, 3))
+    y = (np.sin(x[:, 0]) + 0.5 * x[:, 1] ** 2 - 0.3 * x[:, 2]).reshape(-1, 1)
+    return x, y
+
+
+@pytest.fixture
+def cartpole_env():
+    from repro.envs import make
+
+    return make("CartPole-v0", seed=0)
+
+
+@pytest.fixture
+def tiny_agent_config():
+    from repro.core.agents import AgentConfig
+
+    return AgentConfig(n_states=4, n_actions=2, n_hidden=16, seed=0)

@@ -1,0 +1,299 @@
+"""Tests for the repro.envs Gym-style environment suite."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.envs import (
+    AcrobotEnv,
+    Box,
+    CartPoleEnv,
+    Discrete,
+    EpisodeStatistics,
+    MountainCarEnv,
+    TimeLimit,
+    make,
+    registry,
+    spec,
+)
+from repro.envs.core import StepResult
+
+
+class TestSpaces:
+    def test_discrete_sample_and_contains(self):
+        space = Discrete(3, seed=0)
+        for _ in range(20):
+            assert space.contains(space.sample())
+        assert not space.contains(3)
+        assert not space.contains(-1)
+        assert not space.contains(1.5)
+        assert not space.contains(True)
+
+    def test_discrete_with_start(self):
+        space = Discrete(2, start=5)
+        assert space.contains(5) and space.contains(6)
+        assert not space.contains(0)
+
+    def test_discrete_invalid(self):
+        with pytest.raises(ValueError):
+            Discrete(0)
+
+    def test_discrete_equality(self):
+        assert Discrete(2) == Discrete(2)
+        assert Discrete(2) != Discrete(3)
+
+    def test_box_sample_within_bounds(self):
+        space = Box(low=np.array([-1.0, 0.0]), high=np.array([1.0, 2.0]), seed=0)
+        for _ in range(50):
+            sample = space.sample()
+            assert space.contains(sample)
+
+    def test_box_unbounded_sampling(self):
+        space = Box(low=np.array([-np.inf, 0.0]), high=np.array([np.inf, np.inf]), seed=0)
+        sample = space.sample()
+        assert sample.shape == (2,)
+        assert np.all(np.isfinite(sample))
+        assert not space.is_bounded()
+
+    def test_box_contains_checks_shape(self):
+        space = Box(-1.0, 1.0, shape=(3,))
+        assert not space.contains(np.zeros(2))
+        assert space.contains(np.zeros(3))
+
+    def test_box_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            Box(low=1.0, high=-1.0, shape=(2,))
+
+    def test_space_seeding_reproducible(self):
+        a, b = Discrete(10, seed=3), Discrete(10, seed=3)
+        assert [a.sample() for _ in range(5)] == [b.sample() for _ in range(5)]
+
+
+class TestCartPole:
+    def test_reset_state_near_zero(self, cartpole_env):
+        obs, info = cartpole_env.reset(seed=1)
+        assert obs.shape == (4,)
+        assert np.all(np.abs(obs) <= 0.05)
+        assert isinstance(info, dict)
+
+    def test_step_before_reset_raises(self):
+        env = CartPoleEnv(seed=0)
+        with pytest.raises(RuntimeError):
+            env.step(0)
+
+    def test_invalid_action_rejected(self, cartpole_env):
+        cartpole_env.reset(seed=0)
+        with pytest.raises(ValueError):
+            cartpole_env.step(5)
+
+    def test_reward_is_one_per_step(self, cartpole_env):
+        cartpole_env.reset(seed=0)
+        result = cartpole_env.step(0)
+        assert result.reward == 1.0
+
+    def test_terminates_on_angle(self):
+        env = CartPoleEnv(max_episode_steps=None, seed=0)
+        env.reset(seed=0)
+        done = False
+        steps = 0
+        while not done and steps < 1000:
+            result = env.step(0)   # constant push left -> the pole must fall
+            done = result.terminated
+            steps += 1
+        assert done
+        assert steps < 200
+
+    def test_truncates_at_episode_limit(self):
+        env = CartPoleEnv(max_episode_steps=5, seed=0)
+        env.reset(seed=0)
+        result = None
+        for _ in range(5):
+            result = env.step(env.action_space.sample())
+            if result.done:
+                break
+        assert result.truncated or result.terminated
+
+    def test_observation_bounds_match_table2(self):
+        env = CartPoleEnv(seed=0)
+        table = env.observation_bounds_table
+        assert table["cart_position"] == (-4.8, 4.8)
+        assert table["cart_velocity"][1] == math.inf
+        # The observation-space angle bound is 2 x 12 degrees = 0.418 rad; the
+        # paper's Table 2 quotes the same numeric value (41.8) with a degree
+        # sign, i.e. the radian bound printed as degrees.
+        angle_bound_rad = env.observation_space.high[2]
+        assert angle_bound_rad == pytest.approx(0.418, abs=0.01)
+        assert table["pole_angle_degrees"][1] == pytest.approx(math.degrees(angle_bound_rad))
+        # The episode itself terminates at +-2.4 m and +-12 degrees.
+        assert env.params.position_threshold == 2.4
+        assert env.params.angle_threshold_degrees == 12.0
+
+    def test_dynamics_deterministic_given_state(self):
+        env = CartPoleEnv(seed=0)
+        state = np.array([0.01, 0.0, 0.02, 0.0])
+        a = env._dynamics(state, 1)
+        b = env._dynamics(state, 1)
+        np.testing.assert_array_equal(a, b)
+
+    def test_same_seed_same_trajectory(self):
+        def rollout(seed):
+            env = CartPoleEnv(seed=seed)
+            obs, _ = env.reset(seed=seed)
+            trace = [obs]
+            for _ in range(20):
+                result = env.step(1)
+                trace.append(result.observation)
+                if result.done:
+                    break
+            return np.concatenate(trace)
+
+        np.testing.assert_array_equal(rollout(7), rollout(7))
+
+    def test_random_policy_average_length(self):
+        """Random play should survive roughly 20-25 steps (Gym's known value)."""
+        env = CartPoleEnv(seed=0)
+        rng = np.random.default_rng(0)
+        lengths = []
+        for _ in range(100):
+            env.reset()
+            steps = 0
+            done = False
+            while not done:
+                result = env.step(int(rng.integers(2)))
+                steps += 1
+                done = result.done
+            lengths.append(steps)
+        assert 15 < np.mean(lengths) < 35
+
+
+class TestMountainCarAndAcrobot:
+    def test_mountain_car_reset_range(self):
+        env = MountainCarEnv(seed=0)
+        obs, _ = env.reset()
+        assert -0.6 <= obs[0] <= -0.4
+        assert obs[1] == 0.0
+
+    def test_mountain_car_negative_reward(self):
+        env = MountainCarEnv(seed=0)
+        env.reset()
+        assert env.step(1).reward == -1.0
+
+    def test_mountain_car_velocity_clipped(self):
+        env = MountainCarEnv(seed=0)
+        env.reset()
+        for _ in range(100):
+            result = env.step(2)
+            assert abs(result.observation[1]) <= MountainCarEnv.MAX_SPEED + 1e-12
+            if result.done:
+                break
+
+    def test_mountain_car_truncates(self):
+        env = MountainCarEnv(max_episode_steps=10, seed=0)
+        env.reset()
+        done = False
+        steps = 0
+        while not done:
+            result = env.step(1)
+            done = result.done
+            steps += 1
+        assert steps <= 10
+
+    def test_acrobot_observation_shape(self):
+        env = AcrobotEnv(seed=0)
+        obs, _ = env.reset()
+        assert obs.shape == (6,)
+        # cos/sin components stay in [-1, 1]
+        assert np.all(np.abs(obs[:4]) <= 1.0)
+
+    def test_acrobot_step_and_reward(self):
+        env = AcrobotEnv(seed=0)
+        env.reset()
+        result = env.step(0)
+        assert result.reward in (-1.0, 0.0)
+        assert env.observation_space.contains(result.observation)
+
+    def test_acrobot_angle_wrapping(self):
+        assert AcrobotEnv._wrap(3 * np.pi, -np.pi, np.pi) == pytest.approx(np.pi, abs=1e-9)
+
+
+class TestRegistry:
+    def test_known_ids_registered(self):
+        for env_id in ("CartPole-v0", "CartPole-v1", "MountainCar-v0", "Acrobot-v1"):
+            assert env_id in registry
+
+    def test_make_cartpole_v0(self):
+        env = make("CartPole-v0", seed=0)
+        assert isinstance(env, CartPoleEnv)
+        assert env.spec.max_episode_steps == 200
+        assert env.spec.reward_threshold == 195.0
+
+    def test_make_cartpole_v1_longer(self):
+        env = make("CartPole-v1", seed=0)
+        assert env.max_episode_steps == 500
+
+    def test_make_unknown(self):
+        with pytest.raises(KeyError):
+            make("Pong-v0")
+
+    def test_spec_lookup(self):
+        assert spec("CartPole-v0").reward_threshold == 195.0
+        with pytest.raises(KeyError):
+            spec("Nope-v0")
+
+    def test_make_with_statistics(self):
+        env = make("CartPole-v0", seed=0, record_statistics=True)
+        assert isinstance(env, EpisodeStatistics)
+
+    def test_make_override_kwargs(self):
+        env = make("CartPole-v0", seed=0, max_episode_steps=50)
+        assert env.max_episode_steps == 50
+
+
+class TestWrappers:
+    def test_time_limit_truncates(self):
+        env = TimeLimit(CartPoleEnv(max_episode_steps=None, seed=0), max_episode_steps=3)
+        env.reset()
+        results = [env.step(1) for _ in range(3)]
+        assert results[-1].truncated
+
+    def test_time_limit_invalid(self):
+        with pytest.raises(ValueError):
+            TimeLimit(CartPoleEnv(seed=0), 0)
+
+    def test_episode_statistics_records(self):
+        env = EpisodeStatistics(CartPoleEnv(seed=0))
+        for _ in range(3):
+            env.reset()
+            done = False
+            while not done:
+                result = env.step(env.action_space.sample())
+                done = result.done
+        assert env.n_episodes == 3
+        assert len(env.episode_returns) == 3
+        assert all(length > 0 for length in env.episode_lengths)
+        assert env.episode_returns[0] == env.episode_lengths[0]   # +1 reward per step
+
+    def test_episode_statistics_info_annotation(self):
+        env = EpisodeStatistics(CartPoleEnv(max_episode_steps=5, seed=0))
+        env.reset()
+        result = None
+        done = False
+        while not done:
+            result = env.step(0)
+            done = result.done
+        assert "episode" in result.info
+
+    def test_wrapper_unwrapped(self):
+        inner = CartPoleEnv(seed=0)
+        wrapped = EpisodeStatistics(TimeLimit(inner, 10))
+        assert wrapped.unwrapped is inner
+        assert wrapped.action_space is inner.action_space
+
+
+class TestStepResult:
+    def test_tuple_protocol(self):
+        result = StepResult(np.zeros(2), 1.0, False, True, {"k": 1})
+        obs, reward, terminated, truncated, info = result
+        assert reward == 1.0 and truncated and not terminated
+        assert result.done

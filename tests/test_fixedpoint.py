@@ -1,0 +1,220 @@
+"""Tests for the repro.fixedpoint Q-format arithmetic (Section 4.2's 32-bit Q20)."""
+
+import numpy as np
+import pytest
+
+from repro.fixedpoint.array import FixedPointArray, quantize_array
+from repro.fixedpoint.ops import (
+    fixed_add,
+    fixed_divide,
+    fixed_dot,
+    fixed_matmul,
+    fixed_multiply,
+    fixed_outer,
+    fixed_reciprocal,
+    quantization_error,
+)
+from repro.fixedpoint.qformat import Q20, OverflowPolicy, QFormat, RoundingMode
+from repro.utils.exceptions import ConfigurationError, FixedPointOverflowError
+
+
+class TestQFormat:
+    def test_q20_parameters(self):
+        assert Q20.total_bits == 32
+        assert Q20.frac_bits == 20
+        assert Q20.int_bits == 11
+        assert Q20.scale == pytest.approx(2.0 ** -20)
+        assert Q20.max_value == pytest.approx(2048.0, rel=1e-5)
+        assert Q20.min_value == pytest.approx(-2048.0, rel=1e-5)
+
+    def test_invalid_formats_rejected(self):
+        with pytest.raises(ConfigurationError):
+            QFormat(total_bits=1, frac_bits=0)
+        with pytest.raises(ConfigurationError):
+            QFormat(total_bits=16, frac_bits=16)
+        with pytest.raises(ConfigurationError):
+            QFormat(total_bits=16, frac_bits=-1)
+
+    def test_roundtrip_error_bounded_by_half_lsb(self, rng):
+        values = rng.uniform(-100, 100, size=1000)
+        quantized = Q20.quantize(values)
+        assert np.max(np.abs(quantized - values)) <= Q20.scale / 2 + 1e-15
+
+    def test_exact_values_preserved(self):
+        # Multiples of the LSB are represented exactly.
+        values = np.array([0.0, 1.0, -1.0, 0.5, 1.25, -3.75])
+        np.testing.assert_array_equal(Q20.quantize(values), values)
+
+    def test_saturation(self):
+        fmt = QFormat(16, 8)   # range about [-128, 128)
+        assert fmt.quantize(1000.0) == pytest.approx(fmt.max_value)
+        assert fmt.quantize(-1000.0) == pytest.approx(fmt.min_value)
+
+    def test_error_policy_raises(self):
+        fmt = QFormat(16, 8, overflow=OverflowPolicy.ERROR)
+        with pytest.raises(FixedPointOverflowError):
+            fmt.to_raw(1000.0)
+
+    def test_wrap_policy(self):
+        fmt = QFormat(8, 0, overflow=OverflowPolicy.WRAP)
+        # 8-bit signed wraps 128 -> -128
+        assert fmt.quantize(128.0) == -128.0
+
+    def test_floor_rounding(self):
+        fmt = QFormat(16, 4, rounding=RoundingMode.FLOOR)
+        assert fmt.quantize(0.99 / 16 + 0.0) <= 0.99 / 16
+
+    def test_nearest_rounding_symmetric(self):
+        fmt = QFormat(16, 1)
+        assert fmt.quantize(0.25) == pytest.approx(0.5)
+        assert fmt.quantize(-0.25) == pytest.approx(-0.5)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            Q20.to_raw(np.nan)
+
+    def test_representable(self):
+        assert Q20.representable(1.0)
+        assert not QFormat(8, 0).representable(0.5)
+
+    def test_with_policy(self):
+        fmt = Q20.with_policy(overflow=OverflowPolicy.ERROR)
+        assert fmt.overflow is OverflowPolicy.ERROR
+        assert fmt.total_bits == Q20.total_bits
+
+    def test_name(self):
+        assert "20" in Q20.name
+
+
+class TestFixedPointArray:
+    def test_roundtrip(self, rng):
+        values = rng.uniform(-10, 10, size=(4, 5))
+        arr = FixedPointArray(values)
+        np.testing.assert_allclose(arr.to_float(), values, atol=Q20.scale)
+
+    def test_zeros_and_eye(self):
+        z = FixedPointArray.zeros((3, 3))
+        np.testing.assert_array_equal(z.to_float(), np.zeros((3, 3)))
+        eye = FixedPointArray.eye(3)
+        np.testing.assert_array_equal(eye.to_float(), np.eye(3))
+
+    def test_shape_properties(self):
+        arr = FixedPointArray(np.zeros((2, 7)))
+        assert arr.shape == (2, 7)
+        assert arr.ndim == 2
+        assert arr.size == 14
+        assert len(arr) == 2
+
+    def test_nbytes_uses_nominal_width(self):
+        arr = FixedPointArray(np.zeros(10), QFormat(16, 8))
+        assert arr.nbytes == 20
+
+    def test_indexing(self):
+        arr = FixedPointArray(np.array([[1.0, 2.0], [3.0, 4.0]]))
+        assert arr[1, 1].item() == pytest.approx(4.0)
+        sub = arr[0]
+        np.testing.assert_allclose(sub.to_float(), [1.0, 2.0])
+
+    def test_setitem_quantizes(self):
+        arr = FixedPointArray.zeros(4)
+        arr[2] = 1.3
+        assert arr.to_float()[2] == pytest.approx(1.3, abs=Q20.scale)
+
+    def test_operator_overloads(self):
+        a = FixedPointArray(np.array([1.0, 2.0]))
+        b = FixedPointArray(np.array([0.5, 0.25]))
+        np.testing.assert_allclose((a + b).to_float(), [1.5, 2.25])
+        np.testing.assert_allclose((a - b).to_float(), [0.5, 1.75])
+        np.testing.assert_allclose((a * b).to_float(), [0.5, 0.5])
+        np.testing.assert_allclose((a / b).to_float(), [2.0, 8.0])
+
+    def test_array_protocol(self):
+        arr = FixedPointArray(np.array([1.0, 2.0]))
+        as_np = np.asarray(arr)
+        np.testing.assert_allclose(as_np, [1.0, 2.0])
+
+    def test_copy_independent(self):
+        a = FixedPointArray(np.array([1.0]))
+        b = a.copy()
+        b[0] = 5.0
+        assert a.to_float()[0] == pytest.approx(1.0)
+
+    def test_max_abs_error_vs(self, rng):
+        ref = rng.uniform(-1, 1, size=8)
+        arr = FixedPointArray(ref)
+        assert arr.max_abs_error_vs(ref) <= Q20.scale
+
+    def test_quantize_array_helper(self):
+        assert quantize_array(0.1) == pytest.approx(0.1, abs=Q20.scale)
+
+
+class TestFixedOps:
+    def test_add_exact_on_grid(self):
+        a, b = FixedPointArray(np.array([1.5])), FixedPointArray(np.array([2.25]))
+        assert fixed_add(a, b).to_float()[0] == 3.75
+
+    def test_add_saturates(self):
+        fmt = QFormat(16, 8)
+        a = FixedPointArray(np.array([120.0]), fmt)
+        b = FixedPointArray(np.array([120.0]), fmt)
+        assert fixed_add(a, b, fmt=fmt).to_float()[0] == pytest.approx(fmt.max_value)
+
+    def test_multiply_close_to_float(self, rng):
+        a = rng.uniform(-5, 5, size=(3, 4))
+        b = rng.uniform(-5, 5, size=(3, 4))
+        result = fixed_multiply(a, b).to_float()
+        np.testing.assert_allclose(result, a * b, atol=1e-4)
+
+    def test_divide(self):
+        result = fixed_divide(np.array([1.0, 3.0]), np.array([4.0, 2.0]))
+        np.testing.assert_allclose(result.to_float(), [0.25, 1.5], atol=Q20.scale)
+
+    def test_divide_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            fixed_divide(np.array([1.0]), np.array([0.0]))
+
+    def test_reciprocal(self):
+        assert fixed_reciprocal(np.array([8.0])).to_float()[0] == pytest.approx(0.125)
+
+    def test_dot_matches_float_within_tolerance(self, rng):
+        a = rng.uniform(-1, 1, size=64)
+        b = rng.uniform(-1, 1, size=64)
+        result = fixed_dot(a, b).item()
+        assert result == pytest.approx(float(a @ b), abs=64 * Q20.scale)
+
+    def test_dot_precise_accumulate(self, rng):
+        a = rng.uniform(-1, 1, size=32)
+        b = rng.uniform(-1, 1, size=32)
+        precise = fixed_dot(a, b, precise_accumulate=True).item()
+        assert precise == pytest.approx(float(a @ b), abs=Q20.scale)
+
+    def test_dot_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            fixed_dot(np.ones(3), np.ones(4))
+
+    def test_matmul_matches_float(self, rng):
+        a = rng.uniform(-2, 2, size=(6, 8))
+        b = rng.uniform(-2, 2, size=(8, 3))
+        result = fixed_matmul(a, b).to_float()
+        np.testing.assert_allclose(result, a @ b, atol=8 * Q20.scale * 4)
+
+    def test_matmul_shape_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            fixed_matmul(np.ones((2, 3)), np.ones((4, 2)))
+
+    def test_matmul_vector_promotion(self):
+        result = fixed_matmul(np.ones(3), np.ones(3))
+        assert result.to_float().item() == pytest.approx(3.0)
+
+    def test_outer(self, rng):
+        a, b = rng.uniform(-1, 1, 4), rng.uniform(-1, 1, 5)
+        np.testing.assert_allclose(fixed_outer(a, b).to_float(), np.outer(a, b), atol=1e-5)
+
+    def test_quantization_error_bound(self, rng):
+        values = rng.uniform(-100, 100, size=50)
+        assert quantization_error(values) <= Q20.scale / 2 + 1e-15
+
+    def test_coarse_format_error_larger(self, rng):
+        values = rng.uniform(-1, 1, size=100)
+        coarse = QFormat(16, 8)
+        assert quantization_error(values, coarse) > quantization_error(values, Q20)

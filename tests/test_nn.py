@@ -1,0 +1,281 @@
+"""Tests for the repro.nn NumPy neural-network framework (the DQN substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.nn.activations import Identity, LeakyReLU, ReLU, Sigmoid, Tanh, get_activation
+from repro.nn.initializers import (
+    get_initializer,
+    he_normal,
+    he_uniform,
+    uniform,
+    xavier_normal,
+    xavier_uniform,
+    zeros,
+)
+from repro.nn.layers import Dense
+from repro.nn.losses import HuberLoss, MeanSquaredError, get_loss
+from repro.nn.network import MLP, Sequential
+from repro.nn.optimizers import SGD, Adam, get_optimizer
+from repro.utils.exceptions import ShapeError
+
+
+class TestActivations:
+    @pytest.mark.parametrize("name,cls", [("relu", ReLU), ("tanh", Tanh),
+                                          ("sigmoid", Sigmoid), ("identity", Identity)])
+    def test_lookup(self, name, cls):
+        assert isinstance(get_activation(name), cls)
+
+    def test_lookup_instance_passthrough(self):
+        act = ReLU()
+        assert get_activation(act) is act
+
+    def test_unknown_activation(self):
+        with pytest.raises(ValueError):
+            get_activation("swish")
+
+    def test_relu_forward(self):
+        x = np.array([-2.0, 0.0, 3.0])
+        np.testing.assert_array_equal(ReLU()(x), [0.0, 0.0, 3.0])
+
+    @pytest.mark.parametrize("activation", [ReLU(), Tanh(), Sigmoid(), LeakyReLU(0.1)])
+    def test_derivative_matches_finite_difference(self, activation, rng):
+        x = rng.uniform(-2, 2, size=50) + 0.01   # avoid the ReLU kink exactly
+        eps = 1e-6
+        numeric = (activation.forward(x + eps) - activation.forward(x - eps)) / (2 * eps)
+        np.testing.assert_allclose(activation.derivative(x), numeric, atol=1e-5)
+
+    def test_sigmoid_stable_for_large_inputs(self):
+        out = Sigmoid()(np.array([-1000.0, 1000.0]))
+        assert np.all(np.isfinite(out))
+        np.testing.assert_allclose(out, [0.0, 1.0], atol=1e-12)
+
+    def test_lipschitz_constants(self):
+        assert ReLU().lipschitz_constant == 1.0
+        assert Tanh().lipschitz_constant == 1.0
+        assert Sigmoid().lipschitz_constant == 0.25
+
+
+class TestInitializers:
+    def test_uniform_range(self, rng):
+        w = uniform((100, 50), rng)
+        assert w.min() >= 0.0 and w.max() <= 1.0
+
+    def test_uniform_invalid_range(self, rng):
+        with pytest.raises(ValueError):
+            uniform((2, 2), rng, low=1.0, high=0.0)
+
+    def test_zeros(self):
+        np.testing.assert_array_equal(zeros((3, 4)), np.zeros((3, 4)))
+
+    @pytest.mark.parametrize("init", [xavier_uniform, xavier_normal, he_uniform, he_normal])
+    def test_variance_scales_with_fan_in(self, init, rng):
+        small = init((10, 10), rng)
+        large = init((1000, 10), rng)
+        assert large.std() < small.std()
+
+    def test_get_initializer_unknown(self):
+        with pytest.raises(ValueError):
+            get_initializer("orthogonal")
+
+
+class TestLosses:
+    def test_mse_value_and_gradient(self):
+        loss = MeanSquaredError()
+        pred = np.array([[1.0, 2.0]])
+        target = np.array([[0.0, 0.0]])
+        value, grad = loss(pred, target)
+        assert value == pytest.approx(0.5 * (1 + 4) / 2)
+        np.testing.assert_allclose(grad, (pred - target) / 2)
+
+    def test_huber_quadratic_region(self):
+        loss = HuberLoss(delta=1.0)
+        pred, target = np.array([[0.5]]), np.array([[0.0]])
+        value, grad = loss(pred, target)
+        assert value == pytest.approx(0.125)
+        assert grad[0, 0] == pytest.approx(0.5)
+
+    def test_huber_linear_region(self):
+        loss = HuberLoss(delta=1.0)
+        pred, target = np.array([[3.0]]), np.array([[0.0]])
+        value, grad = loss(pred, target)
+        assert value == pytest.approx(2.5)      # |3| - 0.5
+        assert grad[0, 0] == pytest.approx(1.0)  # clipped gradient
+
+    def test_huber_gradient_matches_finite_difference(self, rng):
+        loss = HuberLoss()
+        pred = rng.normal(size=(4, 3))
+        target = rng.normal(size=(4, 3))
+        _, grad = loss(pred, target)
+        eps = 1e-6
+        for i in range(4):
+            for j in range(3):
+                bumped = pred.copy()
+                bumped[i, j] += eps
+                numeric = (loss.forward(bumped, target) - loss.forward(pred, target)) / eps
+                assert grad[i, j] == pytest.approx(numeric, abs=1e-4)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            MeanSquaredError()(np.zeros((2, 2)), np.zeros((3, 2)))
+
+    def test_invalid_delta(self):
+        with pytest.raises(ValueError):
+            HuberLoss(delta=0.0)
+
+    def test_get_loss(self):
+        assert isinstance(get_loss("huber"), HuberLoss)
+        with pytest.raises(ValueError):
+            get_loss("hinge")
+
+
+class TestDense:
+    def test_forward_shape(self, rng):
+        layer = Dense(4, 8, activation="relu", rng=rng)
+        out = layer.forward(rng.normal(size=(5, 4)))
+        assert out.shape == (5, 8)
+
+    def test_forward_promotes_vector(self, rng):
+        layer = Dense(4, 2, rng=rng)
+        assert layer.forward(np.zeros(4)).shape == (1, 2)
+
+    def test_wrong_input_size(self, rng):
+        layer = Dense(4, 2, rng=rng)
+        with pytest.raises(ShapeError):
+            layer.forward(np.zeros((3, 5)))
+
+    def test_backward_before_forward(self, rng):
+        layer = Dense(3, 2, rng=rng)
+        with pytest.raises(RuntimeError):
+            layer.backward(np.zeros((1, 2)))
+
+    def test_gradient_check(self, rng):
+        """Backprop gradients must match finite differences."""
+        layer = Dense(3, 2, activation="tanh", rng=rng)
+        x = rng.normal(size=(4, 3))
+        target = rng.normal(size=(4, 2))
+
+        def loss_value():
+            out = layer.forward(x, training=True)
+            return 0.5 * float(np.sum((out - target) ** 2))
+
+        out = layer.forward(x, training=True)
+        layer.backward(out - target)
+        analytic = layer.gradients["weights"].copy()
+        eps = 1e-6
+        for i in range(3):
+            for j in range(2):
+                layer.weights[i, j] += eps
+                plus = loss_value()
+                layer.weights[i, j] -= 2 * eps
+                minus = loss_value()
+                layer.weights[i, j] += eps
+                numeric = (plus - minus) / (2 * eps)
+                assert analytic[i, j] == pytest.approx(numeric, rel=1e-4, abs=1e-6)
+
+    def test_parameter_count(self, rng):
+        layer = Dense(4, 8, rng=rng)
+        assert layer.n_parameters == 4 * 8 + 8
+        assert Dense(4, 8, rng=rng, use_bias=False).n_parameters == 32
+
+    def test_set_parameters(self, rng):
+        a = Dense(3, 3, rng=rng)
+        b = Dense(3, 3, rng=np.random.default_rng(99))
+        b.set_parameters({k: v.copy() for k, v in a.parameters.items()})
+        np.testing.assert_array_equal(a.weights, b.weights)
+        np.testing.assert_array_equal(a.bias, b.bias)
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            Dense(0, 4)
+
+
+class TestOptimizers:
+    def _quadratic_layers(self, rng):
+        layer = Dense(2, 1, rng=rng)
+        return layer
+
+    def test_sgd_reduces_loss(self, rng):
+        layer = Dense(2, 1, rng=rng)
+        net = Sequential([layer])
+        x = rng.normal(size=(64, 2))
+        y = (x @ np.array([[1.0], [-2.0]])) + 0.5
+        loss = MeanSquaredError()
+        opt = SGD(learning_rate=0.1)
+        first = net.train_step(x, y, loss, opt)
+        for _ in range(200):
+            last = net.train_step(x, y, loss, opt)
+        assert last < first * 0.01
+
+    def test_adam_reduces_loss(self, rng):
+        net = MLP(2, [8], 1, rng=rng)
+        x = rng.normal(size=(64, 2))
+        y = np.sin(x[:, :1]) + x[:, 1:]
+        loss = MeanSquaredError()
+        opt = Adam(learning_rate=0.01)
+        first = net.train_step(x, y, loss, opt)
+        for _ in range(300):
+            last = net.train_step(x, y, loss, opt)
+        assert last < first * 0.2
+
+    def test_momentum_validation(self):
+        with pytest.raises(ValueError):
+            SGD(momentum=1.5)
+
+    def test_adam_validation(self):
+        with pytest.raises(ValueError):
+            Adam(beta1=1.0)
+        with pytest.raises(ValueError):
+            Adam(learning_rate=-0.1)
+
+    def test_get_optimizer(self):
+        assert isinstance(get_optimizer("adam", learning_rate=0.01), Adam)
+        with pytest.raises(ValueError):
+            get_optimizer("rmsprop")
+
+
+class TestNetworks:
+    def test_mlp_topology(self, rng):
+        net = MLP(4, [64, 64], 2, rng=rng)
+        assert len(net.layers) == 3
+        assert net.n_parameters == 4 * 64 + 64 + 64 * 64 + 64 + 64 * 2 + 2
+
+    def test_predict_shape(self, rng):
+        net = MLP(4, [16], 2, rng=rng)
+        assert net.predict(rng.normal(size=(7, 4))).shape == (7, 2)
+
+    def test_empty_sequential_rejected(self):
+        with pytest.raises(ValueError):
+            Sequential([])
+
+    def test_parameter_roundtrip(self, rng):
+        a = MLP(3, [8], 2, rng=rng)
+        b = MLP(3, [8], 2, rng=np.random.default_rng(123))
+        b.set_parameters(a.get_parameters())
+        x = rng.normal(size=(5, 3))
+        np.testing.assert_allclose(a.predict(x), b.predict(x))
+
+    def test_parameter_snapshot_is_copy(self, rng):
+        net = MLP(3, [4], 1, rng=rng)
+        snapshot = net.get_parameters()
+        net.layers[0].weights += 1.0
+        assert not np.allclose(snapshot[0]["weights"], net.layers[0].weights)
+
+    def test_set_parameters_length_mismatch(self, rng):
+        net = MLP(3, [4], 1, rng=rng)
+        with pytest.raises(ValueError):
+            net.set_parameters(net.get_parameters()[:-1])
+
+    def test_fit_regression_decreases_loss(self, rng, small_regression_data):
+        x, y = small_regression_data
+        net = MLP(3, [32], 1, rng=rng)
+        history = net.fit_regression(x, y, epochs=60, batch_size=32, rng=rng)
+        assert history[-1] < history[0] * 0.5
+
+    def test_lipschitz_upper_bound_positive(self, rng):
+        net = MLP(3, [8], 2, rng=rng)
+        assert net.lipschitz_upper_bound() > 0
+
+    def test_invalid_layer_sizes(self, rng):
+        with pytest.raises(ValueError):
+            MLP(0, [4], 1, rng=rng)

@@ -1,0 +1,153 @@
+"""Property-based tests (hypothesis) on the core numerical invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.clipping import q_learning_target, shaped_cartpole_reward
+from repro.core.os_elm import OSELM
+from repro.core.regularization import RegularizationConfig
+from repro.fixedpoint.qformat import Q20, QFormat
+from repro.linalg.incremental import sherman_morrison_update
+from repro.linalg.spectral import spectral_norm, spectral_normalize
+from repro.utils.metrics import MovingAverage, RunningStats
+
+# Keep hypothesis fast and deterministic for CI-style runs.
+_SETTINGS = settings(max_examples=50, deadline=None)
+
+finite_floats = st.floats(min_value=-100.0, max_value=100.0,
+                          allow_nan=False, allow_infinity=False)
+
+
+class TestFixedPointProperties:
+    @_SETTINGS
+    @given(value=st.floats(min_value=-2000.0, max_value=2000.0,
+                           allow_nan=False, allow_infinity=False))
+    def test_quantization_error_within_half_lsb(self, value):
+        assert abs(Q20.quantize(value) - value) <= Q20.scale / 2 + 1e-12
+
+    @_SETTINGS
+    @given(value=finite_floats)
+    def test_quantization_idempotent(self, value):
+        once = Q20.quantize(value)
+        assert Q20.quantize(once) == once
+
+    @_SETTINGS
+    @given(value=finite_floats, frac_bits=st.integers(min_value=4, max_value=20))
+    def test_more_fractional_bits_never_worse(self, value, frac_bits):
+        # frac_bits is capped at 20 so the finer format still represents +-100
+        # without saturating (saturation would make "finer" worse at the range edge).
+        coarse = QFormat(32, frac_bits)
+        fine = QFormat(32, frac_bits + 4)
+        assert abs(fine.quantize(value) - value) <= abs(coarse.quantize(value) - value) + 1e-15
+
+    @_SETTINGS
+    @given(a=finite_floats, b=finite_floats)
+    def test_quantized_addition_commutes(self, a, b):
+        qa, qb = Q20.quantize(a), Q20.quantize(b)
+        assert Q20.quantize(qa + qb) == Q20.quantize(qb + qa)
+
+
+class TestClippingProperties:
+    @_SETTINGS
+    @given(reward=st.floats(min_value=-1.0, max_value=1.0),
+           done=st.booleans(),
+           max_next=st.floats(min_value=-1e6, max_value=1e6),
+           gamma=st.floats(min_value=0.0, max_value=1.0))
+    def test_clipped_target_always_in_range(self, reward, done, max_next, gamma):
+        target = q_learning_target(reward, done, max_next, gamma=gamma, clip=True)
+        assert -1.0 <= target <= 1.0
+
+    @_SETTINGS
+    @given(terminated=st.booleans(), truncated=st.booleans(),
+           step=st.integers(min_value=1, max_value=100_000))
+    def test_shaped_reward_in_range(self, terminated, truncated, step):
+        assert shaped_cartpole_reward(terminated, truncated, step) in (-1.0, 0.0, 1.0)
+
+    @_SETTINGS
+    @given(reward=st.floats(min_value=-0.5, max_value=0.5),
+           max_next=st.floats(min_value=-0.4, max_value=0.4))
+    def test_unclipped_values_pass_through(self, reward, max_next):
+        target = q_learning_target(reward, False, max_next, gamma=0.5, clip=True)
+        assert target == pytest.approx(reward + 0.5 * max_next)
+
+
+class TestSpectralProperties:
+    @_SETTINGS
+    @given(matrix=hnp.arrays(np.float64, shape=st.tuples(st.integers(2, 8), st.integers(2, 8)),
+                             elements=st.floats(min_value=-5, max_value=5,
+                                                allow_nan=False, allow_infinity=False)))
+    def test_normalized_spectral_norm_at_most_one(self, matrix):
+        normalized, sigma = spectral_normalize(matrix, target=1.0)
+        if sigma > 1e-9:
+            assert spectral_norm(normalized) <= 1.0 + 1e-9
+
+    @_SETTINGS
+    @given(matrix=hnp.arrays(np.float64, shape=(4, 6),
+                             elements=st.floats(min_value=-3, max_value=3,
+                                                allow_nan=False, allow_infinity=False)),
+           scale=st.floats(min_value=0.1, max_value=10.0))
+    def test_spectral_norm_is_absolutely_homogeneous(self, matrix, scale):
+        assert spectral_norm(scale * matrix) == pytest.approx(scale * spectral_norm(matrix),
+                                                              rel=1e-9, abs=1e-9)
+
+    @_SETTINGS
+    @given(matrix=hnp.arrays(np.float64, shape=(5, 5),
+                             elements=st.floats(min_value=-3, max_value=3,
+                                                allow_nan=False, allow_infinity=False)))
+    def test_spectral_norm_bounded_by_frobenius(self, matrix):
+        assert spectral_norm(matrix) <= np.linalg.norm(matrix) + 1e-9
+
+
+class TestRecursiveUpdateProperties:
+    @_SETTINGS
+    @given(rows=st.integers(min_value=5, max_value=20), seed=st.integers(0, 1000))
+    def test_p_stays_symmetric_positive_definite_with_ridge(self, rows, seed):
+        """With the ReOS-ELM ridge initialisation, P remains SPD through rank-1 updates."""
+        rng = np.random.default_rng(seed)
+        n = 4
+        h0 = rng.normal(size=(6, n))
+        p = np.linalg.inv(h0.T @ h0 + 0.5 * np.eye(n))
+        for _ in range(rows):
+            p = sherman_morrison_update(p, rng.normal(size=n))
+        assert np.allclose(p, p.T, atol=1e-8)
+        assert np.all(np.linalg.eigvalsh((p + p.T) / 2) > 0)
+
+    @_SETTINGS
+    @given(seed=st.integers(0, 500), n_updates=st.integers(1, 30))
+    def test_oselm_matches_batch_solution(self, seed, n_updates):
+        """Invariant: sequential training equals batch ridge regression (Eqs 5-8)."""
+        rng = np.random.default_rng(seed)
+        n_in, n_hidden = 3, 8
+        total = n_hidden + n_updates
+        x = rng.uniform(-1, 1, size=(total, n_in))
+        y = rng.uniform(-1, 1, size=(total, 1))
+        model = OSELM(n_in, n_hidden, 1, regularization=RegularizationConfig.l2(0.7),
+                      seed=seed)
+        model.init_train(x[:n_hidden], y[:n_hidden])
+        for i in range(n_hidden, total):
+            model.seq_train_step(x[i], float(y[i, 0]))
+        h = model.hidden(x)
+        expected = np.linalg.solve(h.T @ h + 0.7 * np.eye(n_hidden), h.T @ y)
+        np.testing.assert_allclose(model.beta, expected, atol=1e-6)
+
+
+class TestMetricProperties:
+    @_SETTINGS
+    @given(values=st.lists(finite_floats, min_size=1, max_size=50),
+           window=st.integers(min_value=1, max_value=10))
+    def test_moving_average_matches_tail_mean(self, values, window):
+        avg = MovingAverage(window)
+        for value in values:
+            avg.add(value)
+        expected = float(np.mean(values[-window:]))
+        assert avg.value == pytest.approx(expected, rel=1e-9, abs=1e-9)
+
+    @_SETTINGS
+    @given(values=st.lists(finite_floats, min_size=2, max_size=100))
+    def test_running_stats_match_numpy(self, values):
+        stats = RunningStats()
+        stats.extend(values)
+        assert stats.mean == pytest.approx(float(np.mean(values)), rel=1e-9, abs=1e-9)
+        assert stats.variance == pytest.approx(float(np.var(values)), rel=1e-6, abs=1e-9)

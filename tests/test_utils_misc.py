@@ -1,0 +1,139 @@
+"""Tests for repro.utils.logging, serialization and validation."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.utils.exceptions import ShapeError
+from repro.utils.logging import Logger, get_logger, set_global_level
+from repro.utils.serialization import load_arrays, load_json, save_arrays, save_json
+from repro.utils.validation import (
+    check_array,
+    check_choice,
+    check_in_range,
+    check_positive,
+    check_probability,
+    ensure_2d,
+)
+
+
+class TestLogger:
+    def test_writes_to_stream(self):
+        stream = io.StringIO()
+        logger = Logger("test", level="info", stream=stream)
+        logger.info("hello", value=3)
+        output = stream.getvalue()
+        assert "hello" in output
+        assert "value=3" in output
+        assert "test" in output
+
+    def test_level_filtering(self):
+        stream = io.StringIO()
+        logger = Logger("test", level="warning", stream=stream)
+        logger.info("should not appear")
+        logger.warning("should appear")
+        output = stream.getvalue()
+        assert "should not appear" not in output
+        assert "should appear" in output
+
+    def test_invalid_level_rejected(self):
+        logger = Logger("test")
+        with pytest.raises(ValueError):
+            logger.level = "verbose"
+
+    def test_global_level(self):
+        stream = io.StringIO()
+        logger = Logger("global-test", stream=stream)
+        set_global_level("error")
+        try:
+            logger.info("hidden")
+            assert stream.getvalue() == ""
+        finally:
+            set_global_level("info")
+
+    def test_get_logger_caches(self):
+        assert get_logger("cache-me") is get_logger("cache-me")
+
+    def test_float_formatting(self):
+        stream = io.StringIO()
+        logger = Logger("fmt", level="info", stream=stream)
+        logger.info("x", pi=3.14159265358979)
+        assert "3.14159" in stream.getvalue()
+
+
+class TestSerialization:
+    def test_json_roundtrip(self, tmp_path):
+        data = {"a": 1, "b": [1.5, 2.5], "nested": {"flag": True}}
+        path = save_json(tmp_path / "result.json", data)
+        assert load_json(path) == data
+
+    def test_json_numpy_types(self, tmp_path):
+        data = {"scalar": np.float64(1.5), "int": np.int32(4),
+                "array": np.arange(3), "flag": np.bool_(True)}
+        path = save_json(tmp_path / "np.json", data)
+        loaded = load_json(path)
+        assert loaded["scalar"] == 1.5
+        assert loaded["int"] == 4
+        assert loaded["array"] == [0, 1, 2]
+        assert loaded["flag"] is True
+
+    def test_json_creates_parent_dirs(self, tmp_path):
+        path = save_json(tmp_path / "deep" / "nested" / "f.json", {"x": 1})
+        assert path.exists()
+
+    def test_arrays_roundtrip(self, tmp_path):
+        arrays = {"beta": np.random.default_rng(0).normal(size=(8, 2)),
+                  "p": np.eye(8)}
+        path = save_arrays(tmp_path / "model", arrays)
+        assert path.suffix == ".npz"
+        loaded = load_arrays(path)
+        np.testing.assert_allclose(loaded["beta"], arrays["beta"])
+        np.testing.assert_allclose(loaded["p"], arrays["p"])
+
+
+class TestValidation:
+    def test_check_array_rejects_nan(self):
+        with pytest.raises(ValueError):
+            check_array([1.0, np.nan])
+
+    def test_check_array_allows_nan_when_requested(self):
+        arr = check_array([1.0, np.nan], allow_nan=True)
+        assert np.isnan(arr[1])
+
+    def test_ensure_2d_promotes_vector(self):
+        arr = ensure_2d([1.0, 2.0, 3.0])
+        assert arr.shape == (1, 3)
+
+    def test_ensure_2d_checks_features(self):
+        with pytest.raises(ShapeError):
+            ensure_2d(np.zeros((4, 3)), n_features=5)
+
+    def test_ensure_2d_rejects_3d(self):
+        with pytest.raises(ShapeError):
+            ensure_2d(np.zeros((2, 2, 2)))
+
+    def test_check_positive(self):
+        assert check_positive(1.5) == 1.5
+        with pytest.raises(ValueError):
+            check_positive(0.0)
+        assert check_positive(0.0, strict=False) == 0.0
+        with pytest.raises(ValueError):
+            check_positive(-1.0, strict=False)
+
+    def test_check_probability(self):
+        assert check_probability(0.7) == 0.7
+        with pytest.raises(ValueError):
+            check_probability(1.2)
+        with pytest.raises(ValueError):
+            check_probability(-0.1)
+
+    def test_check_in_range(self):
+        assert check_in_range(0.5, 0.0, 1.0) == 0.5
+        with pytest.raises(ValueError):
+            check_in_range(1.0, 0.0, 1.0, inclusive=(True, False))
+
+    def test_check_choice(self):
+        assert check_choice("svd", ["svd", "qr"]) == "svd"
+        with pytest.raises(ValueError):
+            check_choice("lu", ["svd", "qr"])

@@ -1,0 +1,100 @@
+"""Tests for repro.utils.seeding."""
+
+import numpy as np
+import pytest
+
+from repro.utils.seeding import SeedSequenceFactory, derive_rng, np_random
+
+
+class TestNpRandom:
+    def test_same_seed_same_stream(self):
+        rng_a, _ = np_random(7)
+        rng_b, _ = np_random(7)
+        assert np.array_equal(rng_a.integers(0, 100, 10), rng_b.integers(0, 100, 10))
+
+    def test_different_seeds_differ(self):
+        rng_a, _ = np_random(1)
+        rng_b, _ = np_random(2)
+        assert not np.array_equal(rng_a.integers(0, 1000, 20), rng_b.integers(0, 1000, 20))
+
+    def test_returns_seed_used(self):
+        _, seed = np_random(42)
+        assert seed == 42
+
+    def test_none_seed_generates_entropy(self):
+        rng, seed = np_random(None)
+        assert isinstance(rng, np.random.Generator)
+        assert seed >= 0
+
+    def test_existing_generator_passthrough(self):
+        original = np.random.default_rng(3)
+        rng, seed = np_random(original)
+        assert rng is original
+        assert seed == -1
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ValueError):
+            np_random(-1)
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(TypeError):
+            np_random("seed")  # type: ignore[arg-type]
+
+    def test_seed_sequence_accepted(self):
+        seq = np.random.SeedSequence(99)
+        rng, seed = np_random(seq)
+        assert isinstance(rng, np.random.Generator)
+        assert seed == 99
+
+
+class TestDeriveRng:
+    def test_child_is_independent_generator(self):
+        parent = np.random.default_rng(0)
+        child = derive_rng(parent, "component")
+        assert isinstance(child, np.random.Generator)
+        assert child is not parent
+
+    def test_accepts_mixed_keys(self):
+        parent = np.random.default_rng(0)
+        child = derive_rng(parent, "env", 3)
+        assert isinstance(child, np.random.Generator)
+
+
+class TestSeedSequenceFactory:
+    def test_same_keys_same_stream(self):
+        factory = SeedSequenceFactory(100)
+        a = factory.generator("agent", trial=0).integers(0, 1000, 5)
+        b = SeedSequenceFactory(100).generator("agent", trial=0).integers(0, 1000, 5)
+        assert np.array_equal(a, b)
+
+    def test_different_trials_differ(self):
+        factory = SeedSequenceFactory(100)
+        a = factory.generator("agent", trial=0).integers(0, 10_000, 10)
+        b = factory.generator("agent", trial=1).integers(0, 10_000, 10)
+        assert not np.array_equal(a, b)
+
+    def test_different_components_differ(self):
+        factory = SeedSequenceFactory(100)
+        a = factory.generator("env", trial=0).integers(0, 10_000, 10)
+        b = factory.generator("agent", trial=0).integers(0, 10_000, 10)
+        assert not np.array_equal(a, b)
+
+    def test_trial_generators_count(self):
+        factory = SeedSequenceFactory(5)
+        gens = list(factory.trial_generators("agent", 4))
+        assert len(gens) == 4
+
+    def test_trial_generators_negative_rejected(self):
+        factory = SeedSequenceFactory(5)
+        with pytest.raises(ValueError):
+            list(factory.trial_generators("agent", -1))
+
+    def test_negative_root_seed_rejected(self):
+        with pytest.raises(ValueError):
+            SeedSequenceFactory(-3)
+
+    def test_string_keys_stable_across_processes(self):
+        # FNV-based hashing must not depend on PYTHONHASHSEED.
+        a = SeedSequenceFactory(1).sequence("alpha", trial=2)
+        b = SeedSequenceFactory(1).sequence("alpha", trial=2)
+        assert a.spawn_key == b.spawn_key

@@ -1,0 +1,210 @@
+"""Tests for repro.utils.timer and repro.utils.metrics."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.utils.metrics import (
+    ExponentialMovingAverage,
+    MovingAverage,
+    RunningStats,
+    SolvedCriterion,
+)
+from repro.utils.timer import OPERATION_LABELS, TimeBreakdown, Timer, timed
+
+
+class TestTimer:
+    def test_measures_elapsed_time(self):
+        timer = Timer()
+        timer.start()
+        time.sleep(0.01)
+        elapsed = timer.stop()
+        assert elapsed >= 0.009
+
+    def test_double_start_raises(self):
+        timer = Timer().start()
+        with pytest.raises(RuntimeError):
+            timer.start()
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Timer().stop()
+
+    def test_context_manager(self):
+        with timed() as timer:
+            time.sleep(0.005)
+        assert timer.elapsed >= 0.004
+        assert not timer.running
+
+    def test_reset(self):
+        timer = Timer().start()
+        timer.stop()
+        timer.reset()
+        assert timer.elapsed == 0.0
+
+
+class TestTimeBreakdown:
+    def test_add_and_total(self):
+        breakdown = TimeBreakdown()
+        breakdown.add("seq_train", 1.5)
+        breakdown.add("predict_seq", 0.5)
+        breakdown.add("seq_train", 0.5, count=3)
+        assert breakdown.total() == pytest.approx(2.5)
+        assert breakdown.seconds["seq_train"] == pytest.approx(2.0)
+        assert breakdown.counts["seq_train"] == 4
+
+    def test_negative_seconds_rejected(self):
+        with pytest.raises(ValueError):
+            TimeBreakdown().add("x", -1.0)
+
+    def test_fraction(self):
+        breakdown = TimeBreakdown()
+        breakdown.add("a", 3.0)
+        breakdown.add("b", 1.0)
+        assert breakdown.fraction("a") == pytest.approx(0.75)
+        assert breakdown.fraction("missing") == 0.0
+
+    def test_fraction_empty(self):
+        assert TimeBreakdown().fraction("a") == 0.0
+
+    def test_merge_keeps_both(self):
+        a = TimeBreakdown()
+        a.add("x", 1.0)
+        b = TimeBreakdown()
+        b.add("x", 2.0)
+        b.add("y", 1.0)
+        merged = a.merge(b)
+        assert merged.seconds["x"] == pytest.approx(3.0)
+        assert merged.seconds["y"] == pytest.approx(1.0)
+        # originals untouched
+        assert a.seconds["x"] == pytest.approx(1.0)
+
+    def test_scaled(self):
+        breakdown = TimeBreakdown()
+        breakdown.add("x", 2.0)
+        scaled = breakdown.scaled(0.5)
+        assert scaled.seconds["x"] == pytest.approx(1.0)
+
+    def test_scaled_negative_rejected(self):
+        with pytest.raises(ValueError):
+            TimeBreakdown().scaled(-1.0)
+
+    def test_measure_context(self):
+        breakdown = TimeBreakdown()
+        with breakdown.measure("op"):
+            time.sleep(0.005)
+        assert breakdown.seconds["op"] >= 0.004
+        assert breakdown.counts["op"] == 1
+
+    def test_paper_operation_labels_present(self):
+        assert "seq_train" in OPERATION_LABELS
+        assert "train_DQN" in OPERATION_LABELS
+        assert len(OPERATION_LABELS) == 7
+
+
+class TestMovingAverage:
+    def test_window_average(self):
+        avg = MovingAverage(window=3)
+        for value in [1.0, 2.0, 3.0, 4.0]:
+            avg.add(value)
+        assert avg.value == pytest.approx(3.0)   # (2 + 3 + 4) / 3
+
+    def test_empty_average_zero(self):
+        assert MovingAverage(5).value == 0.0
+
+    def test_full_flag(self):
+        avg = MovingAverage(window=2)
+        avg.add(1.0)
+        assert not avg.full
+        avg.add(2.0)
+        assert avg.full
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            MovingAverage(0)
+
+    def test_reset(self):
+        avg = MovingAverage(3)
+        avg.add(10.0)
+        avg.reset()
+        assert avg.value == 0.0
+        assert avg.count == 0
+
+
+class TestExponentialMovingAverage:
+    def test_first_value_is_exact(self):
+        ema = ExponentialMovingAverage(0.5)
+        assert ema.add(10.0) == pytest.approx(10.0)
+
+    def test_smoothing(self):
+        ema = ExponentialMovingAverage(0.5)
+        ema.add(0.0)
+        assert ema.add(10.0) == pytest.approx(5.0)
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            ExponentialMovingAverage(0.0)
+        with pytest.raises(ValueError):
+            ExponentialMovingAverage(1.5)
+
+
+class TestRunningStats:
+    def test_matches_numpy(self, rng):
+        values = rng.normal(3.0, 2.0, size=500)
+        stats = RunningStats()
+        stats.extend(values)
+        assert stats.mean == pytest.approx(float(values.mean()), rel=1e-10)
+        assert stats.std == pytest.approx(float(values.std()), rel=1e-8)
+        assert stats.min == pytest.approx(float(values.min()))
+        assert stats.max == pytest.approx(float(values.max()))
+
+    def test_empty_stats(self):
+        stats = RunningStats()
+        assert stats.mean == 0.0
+        assert stats.variance == 0.0
+
+
+class TestSolvedCriterion:
+    def test_solves_when_window_full_and_above_threshold(self):
+        criterion = SolvedCriterion(threshold=10.0, window=5)
+        results = [criterion.update(20.0) for _ in range(5)]
+        assert results[-1] is True
+        assert criterion.solved
+
+    def test_not_solved_before_window_full(self):
+        criterion = SolvedCriterion(threshold=10.0, window=5)
+        for _ in range(4):
+            assert criterion.update(100.0) is False
+
+    def test_not_solved_below_threshold(self):
+        criterion = SolvedCriterion(threshold=195.0, window=3)
+        for _ in range(10):
+            criterion.update(50.0)
+        assert not criterion.solved
+
+    def test_exhausted_after_max_episodes(self):
+        criterion = SolvedCriterion(threshold=100.0, window=2, max_episodes=3)
+        for _ in range(3):
+            criterion.update(1.0)
+        assert criterion.exhausted
+
+    def test_history_recorded(self):
+        criterion = SolvedCriterion(threshold=10.0, window=2)
+        criterion.update(5.0)
+        criterion.update(7.0)
+        assert criterion.history == [5.0, 7.0]
+
+    def test_reset(self):
+        criterion = SolvedCriterion(threshold=10.0, window=2)
+        criterion.update(100.0)
+        criterion.reset()
+        assert criterion.episodes == 0
+        assert criterion.history == []
+        assert not criterion.solved
+
+    def test_cartpole_default_matches_convention(self):
+        criterion = SolvedCriterion()
+        assert criterion.threshold == 195.0
+        assert criterion.window == 100
+        assert criterion.max_episodes == 50_000
