@@ -1,0 +1,149 @@
+"""Benchmark: aggregate env-steps/sec of the parallel rollout engine.
+
+Measures, on identical multi-seed CartPole workloads:
+
+1. the serial baseline — the plain ``train_agent`` loop over the sweep's
+   trials, exactly what ``experiments/training_curve.py`` did before the
+   ``repro.parallel`` subsystem;
+2. ``SweepRunner(backend="vectorized")`` — lock-step batched training over
+   the vectorized environment;
+3. (full mode) ``SweepRunner(backend="process")`` — process-pool fan-out,
+   which only wins with more physical cores than trials.
+
+It also cross-checks that ``SyncVectorEnv`` and ``SubprocVectorEnv``
+produce identical trajectories under identical seeds, so the speedup is a
+throughput statement, not a semantics change.
+
+Run directly (the suite's pytest collection ignores ``bench_*`` files)::
+
+    PYTHONPATH=src python benchmarks/bench_parallel_throughput.py --smoke
+
+``--smoke`` keeps the whole run well under a minute; the default budget
+measures longer runs for stabler numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parents[1] / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+import numpy as np
+
+from repro.experiments.reporting import format_table
+from repro.parallel import EnvFactory, SubprocVectorEnv, SweepRunner, SweepSpec, SyncVectorEnv
+from repro.rl.runner import TrainingConfig, train_agent
+
+
+def verify_sync_subproc_identical(num_envs: int = 3, steps: int = 150,
+                                  seed: int = 123) -> bool:
+    """Drive Sync and Subproc vector envs with one action stream; compare."""
+    env_fns = [EnvFactory("CartPole-v0", seed=seed + i) for i in range(num_envs)]
+    sync_env = SyncVectorEnv(env_fns)
+    subproc_env = SubprocVectorEnv(env_fns)
+    try:
+        obs_sync, _ = sync_env.reset()
+        obs_sub, _ = subproc_env.reset()
+        if not np.array_equal(obs_sync, obs_sub):
+            return False
+        rng = np.random.default_rng(seed)
+        for _ in range(steps):
+            actions = rng.integers(0, 2, size=num_envs)
+            result_sync = sync_env.step(actions)
+            result_sub = subproc_env.step(actions)
+            if not (np.array_equal(result_sync.observations, result_sub.observations)
+                    and np.array_equal(result_sync.terminated, result_sub.terminated)
+                    and np.array_equal(result_sync.truncated, result_sub.truncated)):
+                return False
+        return True
+    finally:
+        subproc_env.close()
+        sync_env.close()
+
+
+def bench(args: argparse.Namespace) -> int:
+    training = TrainingConfig(max_episodes=args.episodes,
+                              solved_threshold=10_000.0,   # fixed workload: never early-stop
+                              stop_when_solved=False)
+    spec = SweepSpec(designs=(args.design,), n_seeds=args.seeds,
+                     n_hidden=args.hidden, training=training,
+                     root_seed=args.root_seed)
+    tasks = spec.tasks()
+
+    print(f"workload: {args.seeds}-seed {args.design} (n_hidden={args.hidden}) x "
+          f"{args.episodes} episodes on CartPole-v0\n")
+
+    start = time.perf_counter()
+    serial_steps = 0
+    for task in tasks:
+        result = train_agent(task.make_agent(), config=task.training,
+                             n_hidden=task.n_hidden)
+        serial_steps += int(result.curve.steps.sum())
+    serial_seconds = time.perf_counter() - start
+    serial_rate = serial_steps / serial_seconds
+
+    rows = [{
+        "engine": "serial train_agent loop",
+        "env_steps": serial_steps,
+        "seconds": round(serial_seconds, 3),
+        "steps_per_sec": round(serial_rate),
+        "speedup": 1.0,
+    }]
+
+    backends = ["vectorized"] if args.smoke else ["vectorized", "process"]
+    vectorized_rate = serial_rate
+    for backend in backends:
+        start = time.perf_counter()
+        sweep = SweepRunner(spec, backend=backend).run()
+        seconds = time.perf_counter() - start
+        rate = sweep.total_env_steps / seconds
+        if backend == "vectorized":
+            vectorized_rate = rate
+        rows.append({
+            "engine": f"SweepRunner backend={backend}",
+            "env_steps": sweep.total_env_steps,
+            "seconds": round(seconds, 3),
+            "steps_per_sec": round(rate),
+            "speedup": round(rate / serial_rate, 2),
+        })
+
+    print(format_table(rows, title="Parallel rollout throughput"))
+
+    identical = verify_sync_subproc_identical()
+    print(f"\nSyncVectorEnv == SubprocVectorEnv trajectories (seeded): "
+          f"{'OK' if identical else 'MISMATCH'}")
+
+    speedup = vectorized_rate / serial_rate
+    target = 3.0
+    if speedup >= target:
+        print(f"vectorized speedup {speedup:.2f}x >= {target}x target")
+    else:
+        print(f"WARNING: vectorized speedup {speedup:.2f}x below the {target}x target "
+              f"(machine-dependent; rerun without other load)")
+    return 0 if identical else 1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small budget, finishes in seconds (CI smoke check)")
+    parser.add_argument("--seeds", type=int, default=4, help="trials in the sweep")
+    parser.add_argument("--design", default="OS-ELM-L2-Lipschitz",
+                        help="design name for every trial")
+    parser.add_argument("--hidden", type=int, default=32, help="hidden-layer size")
+    parser.add_argument("--episodes", type=int, default=None,
+                        help="episodes per trial (default 100 smoke / 300 full)")
+    parser.add_argument("--root-seed", type=int, default=2024)
+    args = parser.parse_args(argv)
+    if args.episodes is None:
+        args.episodes = 100 if args.smoke else 300
+    return bench(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -41,8 +41,18 @@ from repro.fpga import (
 )
 from repro.fixedpoint import Q20, QFormat
 from repro.rl import TrainingConfig, TrainingResult, evaluate_agent, train_agent
+from repro.parallel import (
+    SubprocVectorEnv,
+    SweepResult,
+    SweepRunner,
+    SweepSpec,
+    SyncVectorEnv,
+    evaluate_agent_vectorized,
+    make_vector,
+    train_agents_lockstep,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AgentConfig",
@@ -69,5 +79,13 @@ __all__ = [
     "TrainingResult",
     "evaluate_agent",
     "train_agent",
+    "SubprocVectorEnv",
+    "SweepResult",
+    "SweepRunner",
+    "SweepSpec",
+    "SyncVectorEnv",
+    "evaluate_agent_vectorized",
+    "make_vector",
+    "train_agents_lockstep",
     "__version__",
 ]

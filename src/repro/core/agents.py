@@ -118,6 +118,19 @@ class QLearningAgent:
     def act(self, state: np.ndarray, *, explore: bool = True) -> int:
         raise NotImplementedError
 
+    def act_batch(self, states: np.ndarray, *, explore: bool = True) -> np.ndarray:
+        """Choose one action per row of a ``(B, n_states)`` batch.
+
+        The base implementation falls back to per-state :meth:`act` calls;
+        agents with a batchable Q-function override it with a single forward
+        pass (the path the vectorized rollout engine uses).
+        """
+        states = np.asarray(states, dtype=float)
+        if states.ndim == 1:
+            states = states.reshape(1, -1)
+        return np.array([self.act(state, explore=explore) for state in states],
+                        dtype=np.int64)
+
     def observe(self, state: np.ndarray, action: int, reward: float,
                 next_state: np.ndarray, done: bool) -> None:
         raise NotImplementedError
@@ -187,6 +200,23 @@ class _ELMFamilyAgent(QLearningAgent):
         label = "predict_seq" if self.initial_training_done else "predict_init"
         self._record(label, elapsed, count=self.config.n_actions)
         return self.policy.select(q_values, explore=explore)
+
+    def act_batch(self, states: np.ndarray, *, explore: bool = True) -> np.ndarray:
+        """Epsilon-greedy actions for a batch of states in one forward pass.
+
+        All ``B * n_actions`` Q-values come out of a single matrix multiply
+        (the batched :meth:`QFunction.q_values` path) instead of ``B``
+        separate network evaluations.
+        """
+        states = np.asarray(states, dtype=float)
+        if states.ndim == 1:
+            states = states.reshape(1, -1)
+        start = time.perf_counter()
+        q_matrix = self.q_online.q_values(states)
+        elapsed = time.perf_counter() - start
+        label = "predict_seq" if self.initial_training_done else "predict_init"
+        self._record(label, elapsed, count=states.shape[0] * self.config.n_actions)
+        return self.policy.select_batch(q_matrix, explore=explore)
 
     # ------------------------------------------------------------------ training helpers
     def _compute_targets(self, rewards: np.ndarray, dones: np.ndarray,

@@ -93,10 +93,17 @@ class ELM:
         return self.activation.forward(x @ self.alpha + self.bias)
 
     def predict(self, x: np.ndarray) -> np.ndarray:
-        """Network output ``H @ beta`` (Equation 1); requires prior training."""
+        """Network output ``H @ beta`` (Equation 1); requires prior training.
+
+        Accepts a single sample ``(n_inputs,)`` or a batch ``(B, n_inputs)``
+        and mirrors the input's dimensionality: 1-D in, ``(n_outputs,)`` out;
+        2-D in, ``(B, n_outputs)`` out.
+        """
         if self.beta is None:
             raise NotFittedError("ELM.predict called before fit()")
-        return self.hidden(x) @ self.beta
+        single = np.asarray(x).ndim == 1
+        out = self.hidden(x) @ self.beta
+        return out[0] if single else out
 
     def __call__(self, x: np.ndarray) -> np.ndarray:
         return self.predict(x)

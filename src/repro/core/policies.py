@@ -60,6 +60,31 @@ class EpsilonGreedyPolicy:
         self.greedy_selections += 1
         return int(np.argmax(q_values))
 
+    def select_batch(self, q_values: np.ndarray, *, explore: bool = True) -> np.ndarray:
+        """Choose one action per row of a ``(B, n_actions)`` Q-value matrix.
+
+        The whole batch is decided with two vectorized RNG draws (one uniform
+        vector for the greedy/random gate, one integer vector for the random
+        actions), so the per-row decisions are independent but the stream
+        consumption differs from ``B`` sequential :meth:`select` calls — the
+        batched path is its own deterministic stream for a given seed.
+        """
+        q_values = np.asarray(q_values, dtype=float)
+        if q_values.ndim != 2 or q_values.shape[1] != self.n_actions:
+            raise ValueError(
+                f"expected a (batch, {self.n_actions}) Q-value matrix, got shape {q_values.shape}"
+            )
+        greedy = np.argmax(q_values, axis=1)
+        if not explore:
+            self.greedy_selections += q_values.shape[0]
+            return greedy
+        batch = q_values.shape[0]
+        take_random = self._rng.random(batch) >= self.greedy_probability
+        random_actions = self._rng.integers(self.n_actions, size=batch)
+        self.random_selections += int(take_random.sum())
+        self.greedy_selections += batch - int(take_random.sum())
+        return np.where(take_random, random_actions, greedy)
+
     def reset_counters(self) -> None:
         self.greedy_selections = 0
         self.random_selections = 0

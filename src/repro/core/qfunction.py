@@ -16,7 +16,7 @@ Q-learning.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Union
 
 import numpy as np
 
@@ -107,11 +107,42 @@ class QFunction:
         states = np.asarray(states, dtype=float)
         if states.ndim == 1:
             states = states.reshape(1, -1)
-        actions = np.asarray(actions)
+        actions = np.asarray(actions).reshape(-1)
         if states.shape[0] != actions.shape[0]:
             raise ValueError("states and actions must have the same length")
-        return np.stack([self.encode(states[i], int(actions[i]))
-                         for i in range(states.shape[0])])
+        batch = states.shape[0]
+        inputs = np.empty((batch, self.input_size))
+        inputs[:, :self.n_states] = states
+        if self.one_hot_actions:
+            actions = actions.astype(int)
+            if ((actions < 0) | (actions >= self.n_actions)).any():
+                raise ValueError(
+                    f"one-hot encoding requires actions in [0, {self.n_actions}), "
+                    f"got {actions!r}"
+                )
+            inputs[:, self.n_states:] = 0.0
+            inputs[np.arange(batch), self.n_states + actions] = 1.0
+        else:
+            inputs[:, self.n_states] = actions.astype(float)
+        return inputs
+
+    def encode_all_actions(self, states: np.ndarray) -> np.ndarray:
+        """Encode every (state, action) pair for a batch of states.
+
+        Returns a ``(B, n_actions, input_size)`` tensor: one network input row
+        per state per action, the layout used by the batched action sweeps.
+        """
+        states = np.asarray(states, dtype=float)
+        if states.ndim == 1:
+            states = states.reshape(1, -1)
+        batch = states.shape[0]
+        inputs = np.empty((batch, self.n_actions, self.input_size))
+        inputs[:, :, :self.n_states] = states[:, None, :]
+        if self.one_hot_actions:
+            inputs[:, :, self.n_states:] = np.eye(self.n_actions)
+        else:
+            inputs[:, :, self.n_states] = np.arange(self.n_actions, dtype=float)
+        return inputs
 
     # ------------------------------------------------------------------ evaluation
     @property
@@ -121,24 +152,60 @@ class QFunction:
 
     def value(self, state: np.ndarray, action: int) -> float:
         """Q(state, action) as a scalar."""
+        return float(self.predict(np.asarray(state, dtype=float).reshape(-1), action))
+
+    def predict(self, states: np.ndarray, actions) -> Union[float, np.ndarray]:
+        """Q(state, action) for one pair or a batch of pairs.
+
+        A 1-D ``states`` vector with a scalar action returns a float; a 2-D
+        ``(B, n_states)`` batch with ``B`` actions returns a ``(B,)`` array.
+        The two forms round-trip: ``predict(s, a) == predict(s[None], [a])[0]``.
+        """
+        states = np.asarray(states, dtype=float)
+        single = states.ndim == 1
+        actions = np.atleast_1d(actions)
+        batch = 1 if single else states.shape[0]
+        if actions.shape[0] != batch:
+            raise ValueError("states and actions must have the same length")
         if not self.is_trained:
-            return self.default_value
-        return float(self.model.predict(self.encode(state, action).reshape(1, -1))[0, 0])
+            out = np.full(batch, self.default_value)
+            return float(out[0]) if single else out
+        inputs = self.encode_batch(states, actions)
+        out = np.asarray(self.model.predict(inputs)).reshape(-1)
+        return float(out[0]) if single else out
 
     def q_values(self, state: np.ndarray) -> np.ndarray:
-        """Q(state, a) for every action ``a`` — one network evaluation per action."""
+        """Q(state, a) for every action ``a``.
+
+        Accepts one state ``(n_states,)`` -> ``(n_actions,)`` or a batch
+        ``(B, n_states)`` -> ``(B, n_actions)``; the batched form evaluates
+        all ``B * n_actions`` pairs in a single network forward pass.
+        """
+        state = np.asarray(state, dtype=float)
+        single = state.ndim == 1
+        batch = 1 if single else state.shape[0]
         if not self.is_trained:
-            return np.full(self.n_actions, self.default_value)
-        rows = np.stack([self.encode(state, action) for action in range(self.n_actions)])
-        return self.model.predict(rows).reshape(-1)
+            out = np.full((batch, self.n_actions), self.default_value)
+            return out[0] if single else out
+        rows = self.encode_all_actions(state).reshape(batch * self.n_actions, -1)
+        out = np.asarray(self.model.predict(rows)).reshape(batch, self.n_actions)
+        return out[0] if single else out
 
-    def greedy_action(self, state: np.ndarray) -> int:
-        """``argmax_a Q(state, a)`` (Algorithm 1, line 11)."""
-        return int(np.argmax(self.q_values(state)))
+    def greedy_action(self, state: np.ndarray):
+        """``argmax_a Q(state, a)`` (Algorithm 1, line 11).
 
-    def max_q(self, state: np.ndarray) -> float:
-        """``max_a Q(state, a)`` — the bootstrap term of the Q-learning target."""
-        return float(np.max(self.q_values(state)))
+        Returns an int for one state, an ``(B,)`` int array for a batch.
+        """
+        q = self.q_values(state)
+        return int(np.argmax(q)) if q.ndim == 1 else np.argmax(q, axis=1)
+
+    def max_q(self, state: np.ndarray):
+        """``max_a Q(state, a)`` — the bootstrap term of the Q-learning target.
+
+        Returns a float for one state, an ``(B,)`` array for a batch.
+        """
+        q = self.q_values(state)
+        return float(np.max(q)) if q.ndim == 1 else np.max(q, axis=1)
 
     # ------------------------------------------------------------------ training passthroughs
     def fit_batch(self, states: np.ndarray, actions: Sequence[int],

@@ -122,6 +122,75 @@ class CartPoleEnv(Env):
             ]
         )
 
+    @staticmethod
+    def batch_dynamics(states: np.ndarray, actions: np.ndarray,
+                       params: CartPoleParams) -> np.ndarray:
+        """Vectorized :meth:`_dynamics` over a ``(K, 4)`` batch of states.
+
+        Element-for-element the same Euler step as the scalar path, computed
+        with array operations so a vector environment can advance ``K``
+        cart-poles in one call.  Used by the :mod:`repro.parallel` fast path.
+        """
+        states = np.asarray(states, dtype=np.float64)
+        actions = np.asarray(actions)
+        x_dot = states[:, 1]
+        theta = states[:, 2]
+        theta_dot = states[:, 3]
+        pole_mass_length = params.pole_mass_length
+        total_mass = params.total_mass
+        force = np.where(actions == 1, params.force_magnitude, -params.force_magnitude)
+        cos_theta = np.cos(theta)
+        sin_theta = np.sin(theta)
+        temp = (force + pole_mass_length * theta_dot**2 * sin_theta) / total_mass
+        theta_acc = (params.gravity * sin_theta - cos_theta * temp) / (
+            params.pole_half_length
+            * (4.0 / 3.0 - params.pole_mass * cos_theta**2 / total_mass)
+        )
+        x_acc = temp - pole_mass_length * theta_acc * cos_theta / total_mass
+        out = np.empty_like(states)
+        out[:, 0] = states[:, 0] + params.tau * x_dot
+        out[:, 1] = x_dot + params.tau * x_acc
+        out[:, 2] = theta + params.tau * theta_dot
+        out[:, 3] = theta_dot + params.tau * theta_acc
+        return out
+
+    @staticmethod
+    def batch_dynamics_scalar(rows, actions, params: CartPoleParams):
+        """Scalar-Python twin of :meth:`batch_dynamics` for small batches.
+
+        Takes and returns plain lists (``rows`` of 4-float lists, one action
+        per row) and also reports per-row termination, so a caller driving a
+        handful of cart-poles avoids every NumPy ufunc dispatch.  The
+        arithmetic is expression-for-expression the same Euler step as
+        :meth:`_dynamics` / :meth:`batch_dynamics`; keep the three in sync.
+
+        Returns ``(new_rows, terminated_flags)``.
+        """
+        force_mag = params.force_magnitude
+        pml = params.pole_mass_length
+        total_mass = params.total_mass
+        gravity = params.gravity
+        half_length = params.pole_half_length
+        pole_mass = params.pole_mass
+        tau = params.tau
+        x_threshold = params.position_threshold
+        theta_threshold = params.angle_threshold
+        term_flags = []
+        for i, (x, x_dot, theta, theta_dot) in enumerate(rows):
+            force = force_mag if actions[i] == 1 else -force_mag
+            cos_theta = math.cos(theta)
+            sin_theta = math.sin(theta)
+            temp = (force + pml * theta_dot**2 * sin_theta) / total_mass
+            theta_acc = (gravity * sin_theta - cos_theta * temp) / (
+                half_length * (4.0 / 3.0 - pole_mass * cos_theta**2 / total_mass)
+            )
+            x_acc = temp - pml * theta_acc * cos_theta / total_mass
+            x = x + tau * x_dot
+            theta = theta + tau * theta_dot
+            rows[i] = [x, x_dot + tau * x_acc, theta, theta_dot + tau * theta_acc]
+            term_flags.append(abs(x) > x_threshold or abs(theta) > theta_threshold)
+        return rows, term_flags
+
     def _step(self, action) -> StepResult:
         action = int(np.asarray(action).item())
         self.state = self._dynamics(self.state, action)

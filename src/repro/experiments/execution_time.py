@@ -31,6 +31,7 @@ from repro.fpga.platform import PynqZ1Platform
 from repro.rl.recording import TrainingResult
 from repro.rl.runner import TrainingConfig, train_agent
 from repro.utils.logging import get_logger
+from repro.utils.seeding import stable_hash
 from repro.utils.timer import TimeBreakdown
 
 _LOGGER = get_logger("repro.experiments.execution_time")
@@ -138,7 +139,12 @@ class ExecutionTimeResult:
 
 @dataclass(frozen=True)
 class ExecutionTimeExperiment:
-    """Configuration + runner for the Figure 5/6 experiment."""
+    """Configuration + runner for the Figure 5/6 experiment.
+
+    ``parallel=True`` fans the (design, hidden-size) grid over a worker pool
+    through :mod:`repro.parallel`; every cell keeps its serial-mode seed, so
+    the two modes produce identical timings counts-for-counts.
+    """
 
     designs: Sequence[str] = DESIGN_NAMES
     hidden_sizes: Sequence[int] = FIGURE5_HIDDEN_SIZES
@@ -146,6 +152,8 @@ class ExecutionTimeExperiment:
     platform: PynqZ1Platform = field(default_factory=PynqZ1Platform)
     seed: int = 7
     gamma: float = 0.99
+    parallel: bool = False
+    max_workers: Optional[int] = None
 
     @staticmethod
     def paper_scale() -> "ExecutionTimeExperiment":
@@ -166,7 +174,7 @@ class ExecutionTimeExperiment:
 
     # ------------------------------------------------------------------ execution
     def run_single(self, design: str, n_hidden: int, *, trial: int = 0) -> DesignTiming:
-        seed = self.seed + 1000 * trial + 13 * n_hidden + abs(hash(design)) % 991
+        seed = self.seed + 1000 * trial + 13 * n_hidden + stable_hash(design) % 991
         agent = make_design(design, n_hidden=n_hidden, gamma=self.gamma, seed=seed)
         config = TrainingConfig(
             env_id=self.training.env_id,
@@ -200,9 +208,13 @@ class ExecutionTimeExperiment:
 
     def run(self) -> ExecutionTimeResult:
         collected = ExecutionTimeResult()
-        for n_hidden in self.hidden_sizes:
-            for design in self.designs:
-                collected.add(self.run_single(design, int(n_hidden)))
+        from repro.parallel.pool import run_experiment_grid
+
+        grid = [(design, int(n_hidden))
+                for n_hidden in self.hidden_sizes for design in self.designs]
+        for timing in run_experiment_grid(self, grid, parallel=self.parallel,
+                                          max_workers=self.max_workers):
+            collected.add(timing)
         return collected
 
 

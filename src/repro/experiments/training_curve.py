@@ -23,6 +23,7 @@ from repro.experiments.reporting import format_table
 from repro.rl.recording import TrainingResult
 from repro.rl.runner import TrainingConfig, train_agent
 from repro.utils.logging import get_logger
+from repro.utils.seeding import stable_hash
 
 _LOGGER = get_logger("repro.experiments.training_curve")
 
@@ -86,6 +87,14 @@ class TrainingCurveExperiment:
         Protocol configuration; the default is a CI-scale budget.
     seed:
         Base seed; each (design, hidden) run derives its own seed from it.
+    parallel:
+        Fan the (design, hidden-size) grid across a worker pool via
+        :mod:`repro.parallel` instead of looping serially.  Each cell runs
+        the identical ``run_single`` with the identical derived seed, so
+        results match the serial mode cell-for-cell.
+    max_workers:
+        Pool size when ``parallel`` (default: one worker per cell, capped
+        by the CPU count).
     """
 
     designs: Sequence[str] = SOFTWARE_DESIGNS
@@ -93,6 +102,8 @@ class TrainingCurveExperiment:
     training: TrainingConfig = field(default_factory=lambda: TrainingConfig(max_episodes=300))
     seed: int = 42
     gamma: float = 0.99
+    parallel: bool = False
+    max_workers: Optional[int] = None
 
     @staticmethod
     def paper_scale() -> "TrainingCurveExperiment":
@@ -114,7 +125,7 @@ class TrainingCurveExperiment:
     # ------------------------------------------------------------------ execution
     def run_single(self, design: str, n_hidden: int, *, trial: int = 0) -> TrainingResult:
         """Train one (design, hidden-size) combination."""
-        seed = self.seed + 1000 * trial + 17 * n_hidden + abs(hash(design)) % 997
+        seed = self.seed + 1000 * trial + 17 * n_hidden + stable_hash(design) % 997
         agent = make_design(design, n_hidden=n_hidden, gamma=self.gamma, seed=seed)
         config = TrainingConfig(
             env_id=self.training.env_id,
@@ -134,10 +145,14 @@ class TrainingCurveExperiment:
 
     def run(self) -> TrainingCurveResult:
         """Run the full sweep and return the collected curves."""
+        from repro.parallel.pool import run_experiment_grid
+
         collected = TrainingCurveResult()
-        for n_hidden in self.hidden_sizes:
-            for design in self.designs:
-                collected.add(self.run_single(design, int(n_hidden)))
+        grid = [(design, int(n_hidden))
+                for n_hidden in self.hidden_sizes for design in self.designs]
+        for result in run_experiment_grid(self, grid, parallel=self.parallel,
+                                          max_workers=self.max_workers):
+            collected.add(result)
         return collected
 
 

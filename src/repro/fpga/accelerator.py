@@ -130,9 +130,14 @@ class FPGAAcceleratedOSELM(OSELM):
 
     # ------------------------------------------------------------------ inference
     def predict(self, x: np.ndarray) -> np.ndarray:
-        """Prediction on the fixed-point core, one row per core invocation."""
+        """Prediction on the fixed-point core, one row per core invocation.
+
+        Mirrors :meth:`repro.core.elm.ELM.predict`'s shape contract: 1-D in,
+        ``(n_outputs,)`` out; 2-D in, ``(B, n_outputs)`` out.
+        """
         if not self.core.ready:
             raise NotFittedError("FPGAAcceleratedOSELM.predict called before init_train()")
+        single = np.asarray(x).ndim == 1
         x = ensure_2d(x, name="x", n_features=self.n_inputs)
         outputs = np.empty((x.shape[0], self.n_outputs))
         predict_latency = self.pl_latency.predict(self.n_inputs, self.n_hidden,
@@ -140,7 +145,7 @@ class FPGAAcceleratedOSELM(OSELM):
         for row in range(x.shape[0]):
             outputs[row] = self.core.predict(x[row])[0]
             self.modelled_time.add("predict_seq", predict_latency)
-        return outputs
+        return outputs[0] if single else outputs
 
     # ------------------------------------------------------------------ diagnostics
     def quantization_report(self) -> dict:

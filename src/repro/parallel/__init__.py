@@ -1,0 +1,47 @@
+"""repro.parallel: vectorized environments and multi-seed sweep orchestration.
+
+The subsystem has three layers (see the README for the architecture sketch
+and determinism guarantees):
+
+* **Vector envs** — :class:`SyncVectorEnv` / :class:`SubprocVectorEnv`
+  step N registry environments behind one stacked ``reset()``/``step()``
+  interface with auto-reset; :func:`make_vector` builds either from a
+  registered id with ``spawn_seeds``-derived per-env seeds.
+* **Lock-step training** — :func:`train_agents_lockstep` advances N
+  independent ELM-family trials with batched agent math over a vector env
+  (the single-core throughput path).
+* **Sweep orchestration** — :class:`SweepRunner` fans a
+  (design x env x seed) :class:`SweepSpec` grid across the vectorized,
+  process-pool or serial backend and aggregates the streamed results into
+  a :class:`SweepResult`.
+"""
+
+from repro.parallel.lockstep import supports_lockstep, train_agents_lockstep
+from repro.parallel.pool import parallel_map
+from repro.parallel.rollout import evaluate_agent_vectorized
+from repro.parallel.subproc import SubprocVectorEnv
+from repro.parallel.sweep import SweepResult, SweepRunner, SweepSpec, SweepTask
+from repro.parallel.vector_env import (
+    EnvFactory,
+    SyncVectorEnv,
+    VectorEnv,
+    VectorStepResult,
+    make_vector,
+)
+
+__all__ = [
+    "EnvFactory",
+    "SubprocVectorEnv",
+    "SweepResult",
+    "SweepRunner",
+    "SweepSpec",
+    "SweepTask",
+    "SyncVectorEnv",
+    "VectorEnv",
+    "VectorStepResult",
+    "evaluate_agent_vectorized",
+    "make_vector",
+    "parallel_map",
+    "supports_lockstep",
+    "train_agents_lockstep",
+]

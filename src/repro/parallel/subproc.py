@@ -1,0 +1,180 @@
+"""Subprocess vector env: one worker process per sub-env, piped commands.
+
+``SubprocVectorEnv`` mirrors :class:`~repro.parallel.vector_env.SyncVectorEnv`
+command-for-command — same auto-reset rule, same seeding contract — so the
+two produce *identical* trajectories given identical ``env_fns`` and seeds
+(a property the test-suite asserts).  The payoff is different: ``Sync``
+amortizes Python overhead inside one process, while ``Subproc`` buys true
+OS-level parallelism for environments whose ``step()`` is genuinely
+expensive (physics simulators, rendering).  For the micro-second CartPole
+steps of this paper the pipe round-trip dominates, which is why the sweep
+machinery defaults to the in-process engines — see the README's
+"when to use Sync vs Subproc" table.
+
+Workers are started with the default multiprocessing start method
+(``fork`` on Linux).  With ``spawn``, the ``env_fns`` must be picklable —
+use :class:`~repro.parallel.vector_env.EnvFactory` rather than closures.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from multiprocessing.connection import Connection
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.envs.core import Env
+from repro.parallel.vector_env import VectorEnv, VectorStepResult
+
+
+def _subproc_worker(remote: Connection, parent_remote: Connection,
+                    env_fn: Callable[[], Env], autoreset: bool) -> None:
+    """Worker loop: owns one sub-env, executes piped commands until 'close'.
+
+    Exceptions raised by the env (step-before-reset, invalid actions) are
+    shipped back as ``("error", exc)`` payloads and re-raised in the parent,
+    so a misuse surfaces as the underlying error instead of a dead pipe.
+    """
+    parent_remote.close()
+    env = env_fn()
+    try:
+        while True:
+            command, payload = remote.recv()
+            if command == "close":
+                remote.send(("ok", None))
+                break
+            try:
+                if command == "reset":
+                    result = env.reset(seed=payload)
+                elif command == "step":
+                    step = env.step(payload)
+                    observation = step.observation
+                    info = dict(step.info)
+                    if step.done and autoreset:
+                        info["final_observation"] = observation.copy()
+                        observation, _ = env.reset()
+                    result = (observation, step.reward, step.terminated,
+                              step.truncated, info)
+                elif command == "spaces":
+                    result = (env.observation_space, env.action_space,
+                              env.n_observations)
+                else:  # pragma: no cover - protocol error
+                    raise RuntimeError(f"unknown vector-env command {command!r}")
+            except Exception as exc:
+                remote.send(("error", exc))
+                continue
+            remote.send(("ok", result))
+    finally:
+        env.close()
+        remote.close()
+
+
+def _receive(remote: Connection):
+    """Unwrap a worker reply, re-raising shipped exceptions in the parent."""
+    status, payload = remote.recv()
+    if status == "error":
+        raise payload
+    return payload
+
+
+class SubprocVectorEnv(VectorEnv):
+    """Vector env with each sub-env living in its own worker process.
+
+    Parameters
+    ----------
+    env_fns:
+        One picklable zero-argument constructor per sub-env.
+    autoreset:
+        Reset finished sub-envs automatically inside the worker (default),
+        exposing the terminal observation as ``infos[i]["final_observation"]``.
+    context:
+        Multiprocessing start method (``"fork"``, ``"spawn"``, ...); ``None``
+        uses the platform default.
+    """
+
+    def __init__(self, env_fns: Sequence[Callable[[], Env]], *,
+                 autoreset: bool = True, context: Optional[str] = None) -> None:
+        if not env_fns:
+            raise ValueError("SubprocVectorEnv needs at least one env_fn")
+        ctx = mp.get_context(context)
+        self.num_envs = len(env_fns)
+        self.autoreset = bool(autoreset)
+        self._remotes: List[Connection] = []
+        self._processes: List[mp.Process] = []
+        self._closed = False
+        for env_fn in env_fns:
+            remote, worker_remote = ctx.Pipe()
+            process = ctx.Process(
+                target=_subproc_worker,
+                args=(worker_remote, remote, env_fn, self.autoreset),
+                daemon=True,
+            )
+            process.start()
+            worker_remote.close()
+            self._remotes.append(remote)
+            self._processes.append(process)
+        self._remotes[0].send(("spaces", None))
+        spaces = _receive(self._remotes[0])
+        self.single_observation_space, self.single_action_space, self._obs_dim = spaces
+
+    # ------------------------------------------------------------------ API
+    def reset(self, *, seed: Optional[int] = None
+              ) -> Tuple[np.ndarray, List[Dict[str, Any]]]:
+        self._ensure_open()
+        seeds = self._spawn_reset_seeds(seed)
+        for remote, env_seed in zip(self._remotes, seeds):
+            remote.send(("reset", env_seed))
+        observations = np.empty((self.num_envs, self._obs_dim))
+        infos: List[Dict[str, Any]] = []
+        for i, remote in enumerate(self._remotes):
+            obs, info = _receive(remote)
+            observations[i] = obs
+            infos.append(info)
+        return observations, infos
+
+    def step(self, actions) -> VectorStepResult:
+        self._ensure_open()
+        actions = self._check_actions(actions)
+        for remote, action in zip(self._remotes, actions):
+            remote.send(("step", action))
+        observations = np.empty((self.num_envs, self._obs_dim))
+        rewards = np.empty(self.num_envs)
+        terminated = np.zeros(self.num_envs, dtype=bool)
+        truncated = np.zeros(self.num_envs, dtype=bool)
+        infos: List[Dict[str, Any]] = []
+        for i, remote in enumerate(self._remotes):
+            obs, reward, term, trunc, info = _receive(remote)
+            observations[i] = obs
+            rewards[i] = reward
+            terminated[i] = term
+            truncated[i] = trunc
+            infos.append(info)
+        return VectorStepResult(observations, rewards, terminated, truncated, infos)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for remote in self._remotes:
+            try:
+                remote.send(("close", None))
+                remote.recv()
+            except (BrokenPipeError, EOFError):  # pragma: no cover - worker died
+                pass
+            remote.close()
+        for process in self._processes:
+            process.join(timeout=5.0)
+            if process.is_alive():  # pragma: no cover - stuck worker
+                process.terminate()
+                process.join(timeout=1.0)
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("SubprocVectorEnv has been closed")
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter teardown
+        try:
+            self.close()
+        except Exception:
+            pass

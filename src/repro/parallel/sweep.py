@@ -1,0 +1,300 @@
+"""Multi-seed sweep orchestration: fan a (design x env x seed) grid out.
+
+``SweepRunner`` is the entry point the experiments build on.  It expands a
+:class:`SweepSpec` into one :class:`SweepTask` per (design, env_id, trial)
+cell, derives every task's seed from the sweep's root seed with
+:func:`~repro.utils.seeding.spawn_seeds` (reproducible, pairwise
+non-overlapping), executes the grid on one of three interchangeable
+backends, and aggregates the streamed
+:class:`~repro.rl.recording.TrainingResult`s into a :class:`SweepResult`.
+
+Backends
+--------
+``"vectorized"``
+    Groups compatible trials (same lock-step-capable design, env and hidden
+    size) and trains each group in lock-step through
+    :func:`~repro.parallel.lockstep.train_agents_lockstep` — batched agent
+    math plus the vectorized environment.  The winner whenever trials
+    outnumber cores, and the only way to go faster on a single core.
+    Designs the lock-step trainer cannot replay faithfully (DQN, FPGA, and
+    the unregularized OS-ELM variants — see
+    :func:`~repro.parallel.lockstep.supports_lockstep`) fall back to the
+    serial path within the same run.
+``"process"``
+    One :func:`~repro.rl.runner.train_agent` call per worker process via
+    :func:`~repro.parallel.pool.parallel_map`.  Scales with physical cores
+    and handles every design; per-task results are bit-identical to serial.
+``"serial"``
+    The plain loop, for debugging and baselines.
+``"auto"``
+    ``vectorized`` (its fallback already covers non-batchable designs).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.designs import design_spec, make_design
+from repro.experiments.reporting import format_table
+from repro.parallel.lockstep import train_agents_lockstep
+from repro.parallel.pool import parallel_map
+from repro.rl.recording import TrainingResult
+from repro.rl.runner import TrainingConfig, train_agent
+from repro.utils.logging import get_logger
+from repro.utils.seeding import spawn_seeds
+
+_LOGGER = get_logger("repro.parallel.sweep")
+
+
+def _design_supports_lockstep(design: str) -> bool:
+    """Mirror of :func:`repro.parallel.lockstep.supports_lockstep` on specs.
+
+    ELM always; OS-ELM only with the ridge term (the un-ridged recursive P
+    update amplifies batched-vs-serial BLAS rounding chaotically); never
+    DQN/FPGA.
+    """
+    spec = design_spec(design)
+    if spec.family == "elm":
+        return True
+    return spec.family == "os-elm" and spec.regularization.l2_delta > 0
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """One cell of the sweep grid: a fully specified, picklable trial."""
+
+    design: str
+    env_id: str
+    n_hidden: int
+    gamma: float
+    seed: int
+    trial: int                        #: trial index within (design, env_id)
+    training: TrainingConfig          #: per-trial protocol (seed already embedded)
+
+    def make_agent(self):
+        """Instantiate the trial's agent (called inside the executing worker)."""
+        return make_design(self.design, n_hidden=self.n_hidden, gamma=self.gamma,
+                           seed=self.seed)
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """Declarative description of a sweep grid.
+
+    Every (design, env_id, trial) combination becomes one task; task seeds
+    are ``spawn_seeds(root_seed, n_tasks)`` in grid order, so the whole
+    sweep is reproducible from ``root_seed`` alone and no two trials share
+    a bit-generator stream.
+    """
+
+    designs: Sequence[str] = ("OS-ELM-L2-Lipschitz",)
+    env_ids: Sequence[str] = ("CartPole-v0",)
+    n_seeds: int = 4
+    n_hidden: int = 64
+    gamma: float = 0.99
+    training: TrainingConfig = field(default_factory=lambda: TrainingConfig(max_episodes=300))
+    root_seed: int = 1234
+
+    def __post_init__(self) -> None:
+        if not self.designs:
+            raise ValueError("designs must not be empty")
+        if not self.env_ids:
+            raise ValueError("env_ids must not be empty")
+        if self.n_seeds <= 0:
+            raise ValueError("n_seeds must be positive")
+        for design in self.designs:
+            design_spec(design)  # raises on unknown names up-front
+
+    def tasks(self) -> List[SweepTask]:
+        """Expand the grid into seeded tasks (design-major, then env, then trial)."""
+        grid = [(design, env_id, trial)
+                for design in self.designs
+                for env_id in self.env_ids
+                for trial in range(self.n_seeds)]
+        seeds = spawn_seeds(self.root_seed, len(grid))
+        tasks = []
+        for (design, env_id, trial), seed in zip(grid, seeds):
+            training = replace(self.training, env_id=env_id, seed=seed)
+            tasks.append(SweepTask(design=design, env_id=env_id,
+                                   n_hidden=self.n_hidden, gamma=self.gamma,
+                                   seed=seed, trial=trial, training=training))
+        return tasks
+
+
+def _run_sweep_task(task: SweepTask) -> TrainingResult:
+    """Module-level worker so the process backend can pickle it."""
+    agent = task.make_agent()
+    return train_agent(agent, config=task.training, n_hidden=task.n_hidden)
+
+
+@dataclass
+class SweepResult:
+    """All trials of one sweep, with cross-seed aggregation helpers."""
+
+    entries: List[Tuple[SweepTask, TrainingResult]] = field(default_factory=list)
+    backend: str = "serial"
+    wall_time_seconds: float = 0.0
+
+    def add(self, task: SweepTask, result: TrainingResult) -> None:
+        self.entries.append((task, result))
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    # ------------------------------------------------------------------ selection
+    def results_for(self, design: Optional[str] = None,
+                    env_id: Optional[str] = None) -> List[TrainingResult]:
+        """Trials matching a design and/or env, in trial order."""
+        matching = [(task, result) for task, result in self.entries
+                    if (design is None or task.design == design)
+                    and (env_id is None or task.env_id == env_id)]
+        matching.sort(key=lambda entry: (entry[0].design, entry[0].env_id,
+                                         entry[0].trial))
+        return [result for _, result in matching]
+
+    def groups(self) -> List[Tuple[str, str]]:
+        """The distinct (design, env_id) cells present, sorted."""
+        return sorted({(task.design, task.env_id) for task, _ in self.entries})
+
+    # ------------------------------------------------------------------ aggregation
+    @property
+    def total_env_steps(self) -> int:
+        """Aggregate environment steps executed across every trial."""
+        return int(sum(record.steps for _, result in self.entries
+                       for record in result.curve.records))
+
+    def solved_fraction(self, design: str, env_id: str) -> float:
+        results = self.results_for(design, env_id)
+        if not results:
+            raise KeyError(f"no trials for ({design!r}, {env_id!r})")
+        return float(np.mean([result.solved for result in results]))
+
+    def aggregate_curve(self, design: str, env_id: str) -> Dict[str, np.ndarray]:
+        """Mean/std per-episode steps across seeds (the Figure 4 averaging).
+
+        Trials that stopped early (solved) are padded by holding their final
+        episode length, so the mean stays defined over the longest trial's
+        horizon.
+        """
+        results = self.results_for(design, env_id)
+        if not results:
+            raise KeyError(f"no trials for ({design!r}, {env_id!r})")
+        horizon = max(len(result.curve) for result in results)
+        padded = np.empty((len(results), horizon))
+        for row, result in enumerate(results):
+            steps = result.curve.steps
+            padded[row, :steps.size] = steps
+            padded[row, steps.size:] = steps[-1] if steps.size else 0.0
+        return {
+            "episodes": np.arange(1, horizon + 1),
+            "mean_steps": padded.mean(axis=0),
+            "std_steps": padded.std(axis=0),
+        }
+
+    def summary_rows(self) -> List[Dict[str, object]]:
+        rows = []
+        for design, env_id in self.groups():
+            results = self.results_for(design, env_id)
+            solve_counts = [result.episodes_to_solve for result in results
+                            if result.episodes_to_solve is not None]
+            rows.append({
+                "design": design,
+                "env_id": env_id,
+                "trials": len(results),
+                "solved": f"{sum(result.solved for result in results)}/{len(results)}",
+                "mean_episodes_to_solve": (round(float(np.mean(solve_counts)), 1)
+                                           if solve_counts else None),
+                "mean_final_avg_steps": round(float(np.mean(
+                    [result.curve.final_average() for result in results])), 1),
+            })
+        return rows
+
+    def render(self) -> str:
+        return format_table(self.summary_rows(),
+                            title=f"Sweep summary ({len(self.entries)} trials, "
+                                  f"backend={self.backend})")
+
+
+class SweepRunner:
+    """Execute a :class:`SweepSpec` grid on a chosen backend.
+
+    Parameters
+    ----------
+    spec:
+        The sweep grid.
+    backend:
+        ``"auto"`` (default), ``"vectorized"``, ``"process"`` or ``"serial"``.
+    max_workers:
+        Pool size for the process backend; lock-step group size is the
+        number of compatible trials, independent of this.
+    """
+
+    BACKENDS = ("auto", "vectorized", "process", "serial")
+
+    def __init__(self, spec: SweepSpec, *, backend: str = "auto",
+                 max_workers: Optional[int] = None) -> None:
+        if backend not in self.BACKENDS:
+            raise ValueError(f"unknown backend {backend!r}; choose from {self.BACKENDS}")
+        self.spec = spec
+        self.backend = "vectorized" if backend == "auto" else backend
+        self.max_workers = max_workers
+
+    def run(self, callback: Optional[Callable[[SweepTask, TrainingResult], None]] = None
+            ) -> SweepResult:
+        """Run every task; ``callback(task, result)`` streams completions."""
+        tasks = self.spec.tasks()
+        sweep = SweepResult(backend=self.backend)
+        start = time.perf_counter()
+        _LOGGER.info("sweep started", backend=self.backend, tasks=len(tasks))
+        if self.backend == "process":
+            def stream(index: int, result: TrainingResult) -> None:
+                if callback is not None:
+                    callback(tasks[index], result)
+
+            results = parallel_map(_run_sweep_task, tasks, backend="process",
+                                   max_workers=self.max_workers, callback=stream)
+            for task, result in zip(tasks, results):
+                sweep.add(task, result)
+        elif self.backend == "serial":
+            for task in tasks:
+                result = _run_sweep_task(task)
+                if callback is not None:
+                    callback(task, result)
+                sweep.add(task, result)
+        else:
+            self._run_vectorized(tasks, sweep, callback)
+        sweep.wall_time_seconds = time.perf_counter() - start
+        _LOGGER.info("sweep finished", backend=self.backend,
+                     seconds=round(sweep.wall_time_seconds, 2))
+        return sweep
+
+    # ------------------------------------------------------------------ vectorized
+    def _run_vectorized(self, tasks: Sequence[SweepTask], sweep: SweepResult,
+                        callback: Optional[Callable[[SweepTask, TrainingResult], None]]
+                        ) -> None:
+        """Lock-step the batchable groups; run the rest serially."""
+        groups: Dict[Tuple[str, str, int], List[SweepTask]] = defaultdict(list)
+        leftovers: List[SweepTask] = []
+        for task in tasks:
+            if _design_supports_lockstep(task.design):
+                groups[(task.design, task.env_id, task.n_hidden)].append(task)
+            else:
+                leftovers.append(task)
+        for group_tasks in groups.values():
+            agents = [task.make_agent() for task in group_tasks]
+            configs = [task.training for task in group_tasks]
+            results = train_agents_lockstep(agents, configs)
+            for task, result in zip(group_tasks, results):
+                if callback is not None:
+                    callback(task, result)
+                sweep.add(task, result)
+        for task in leftovers:
+            result = _run_sweep_task(task)
+            if callback is not None:
+                callback(task, result)
+            sweep.add(task, result)

@@ -26,6 +26,7 @@ from repro.envs.registry import make as make_env
 from repro.rl.recording import EpisodeRecord, TrainingCurve, TrainingResult
 from repro.utils.logging import get_logger
 from repro.utils.metrics import SolvedCriterion
+from repro.utils.seeding import spawn_seeds
 
 _LOGGER = get_logger("repro.rl.runner")
 
@@ -162,13 +163,21 @@ def train_agent(agent: QLearningAgent, env: Union[str, Env, None] = None, *,
 def evaluate_agent(agent: QLearningAgent, env: Union[str, Env, None] = None, *,
                    n_episodes: int = 10, config: TrainingConfig = TrainingConfig()
                    ) -> np.ndarray:
-    """Run greedy (no-exploration) evaluation episodes and return their lengths."""
+    """Run greedy (no-exploration) evaluation episodes and return their lengths.
+
+    When ``config.seed`` is set, each episode's initial state is drawn from
+    its own :func:`~repro.utils.seeding.spawn_seeds`-derived seed, so the
+    evaluation suite is reproducible episode-by-episode and independent of
+    how much entropy training consumed from the environment's stream.
+    """
     if n_episodes <= 0:
         raise ValueError("n_episodes must be positive")
     environment = _resolve_env(env, config)
+    episode_seeds = (spawn_seeds(config.seed, n_episodes) if config.seed is not None
+                     else [None] * n_episodes)
     lengths = np.zeros(n_episodes, dtype=int)
     for i in range(n_episodes):
-        state, _ = environment.reset()
+        state, _ = environment.reset(seed=episode_seeds[i])
         steps = 0
         done = False
         while not done:

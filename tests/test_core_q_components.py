@@ -163,6 +163,82 @@ class TestEncodingAndQFunction:
         with pytest.raises(NotFittedError):
             qf.update(np.zeros(4), 0, 0.5)
 
+
+class TestBatchedPrediction:
+    """Regression tests for the 1-D/2-D shape contract of the batched paths."""
+
+    def _fitted_qfunction(self, rng, one_hot=False):
+        n_inputs = 4 + (2 if one_hot else 1)
+        model = OSELM(n_inputs, 16, 1, seed=3)
+        qf = QFunction(model, n_states=4, n_actions=2, one_hot_actions=one_hot)
+        states = rng.uniform(-1, 1, size=(16, 4))
+        actions = rng.integers(0, 2, size=16)
+        qf.fit_batch(states, actions, rng.uniform(-1, 1, size=16))
+        return qf
+
+    def test_elm_predict_mirrors_input_ndim(self, rng):
+        model = ELM(5, 8, 1, seed=0)
+        x = rng.uniform(size=(20, 5))
+        model.fit(x, rng.uniform(size=(20, 1)))
+        single = model.predict(x[0])
+        batch = model.predict(x[:4])
+        assert single.shape == (1,)
+        assert batch.shape == (4, 1)
+        # BLAS may block the batched GEMM differently from the single-row
+        # product, so agreement is to rounding, not bit-for-bit.
+        np.testing.assert_allclose(single, batch[0], rtol=1e-10, atol=1e-12)
+
+    def test_qfunction_predict_round_trip(self, rng):
+        qf = self._fitted_qfunction(rng)
+        state = rng.uniform(-1, 1, size=4)
+        scalar = qf.predict(state, 1)
+        batch = qf.predict(state.reshape(1, -1), [1])
+        assert isinstance(scalar, float)
+        assert batch.shape == (1,)
+        assert scalar == batch[0]
+        assert scalar == pytest.approx(qf.value(state, 1))
+
+    def test_qfunction_predict_before_training(self):
+        qf = QFunction(OSELM(5, 8, 1, seed=0), 4, 2, default_value=0.5)
+        assert qf.predict(np.zeros(4), 0) == 0.5
+        np.testing.assert_array_equal(qf.predict(np.zeros((3, 4)), [0, 1, 0]),
+                                      [0.5, 0.5, 0.5])
+
+    def test_q_values_batch_matches_single(self, rng):
+        qf = self._fitted_qfunction(rng)
+        states = rng.uniform(-1, 1, size=(6, 4))
+        batch = qf.q_values(states)
+        assert batch.shape == (6, 2)
+        for i in range(6):
+            np.testing.assert_allclose(batch[i], qf.q_values(states[i]),
+                                       rtol=1e-10, atol=1e-12)
+
+    def test_q_values_batch_one_hot(self, rng):
+        qf = self._fitted_qfunction(rng, one_hot=True)
+        states = rng.uniform(-1, 1, size=(3, 4))
+        batch = qf.q_values(states)
+        assert batch.shape == (3, 2)
+        for i in range(3):
+            np.testing.assert_allclose(batch[i], qf.q_values(states[i]),
+                                       rtol=1e-10, atol=1e-12)
+
+    def test_greedy_and_max_q_batch_shapes(self, rng):
+        qf = self._fitted_qfunction(rng)
+        states = rng.uniform(-1, 1, size=(5, 4))
+        greedy = qf.greedy_action(states)
+        top = qf.max_q(states)
+        assert greedy.shape == (5,) and top.shape == (5,)
+        assert isinstance(qf.greedy_action(states[0]), int)
+        assert isinstance(qf.max_q(states[0]), float)
+        q = qf.q_values(states)
+        np.testing.assert_array_equal(greedy, np.argmax(q, axis=1))
+        np.testing.assert_array_equal(top, np.max(q, axis=1))
+
+    def test_untrained_batch_shapes(self):
+        qf = QFunction(OSELM(5, 8, 1, seed=0), 4, 2, default_value=0.0)
+        assert qf.q_values(np.zeros((3, 4))).shape == (3, 2)
+        np.testing.assert_array_equal(qf.greedy_action(np.zeros((3, 4))), [0, 0, 0])
+
     def test_encode_batch_mismatch(self, rng):
         qf = self._fitted_qfunction(rng)
         with pytest.raises(ValueError):

@@ -3,7 +3,67 @@
 import numpy as np
 import pytest
 
-from repro.utils.seeding import SeedSequenceFactory, derive_rng, np_random
+from repro.utils.seeding import (
+    SeedSequenceFactory,
+    derive_rng,
+    np_random,
+    spawn_seeds,
+    stable_hash,
+)
+
+
+class TestSpawnSeeds:
+    def test_deterministic_for_root(self):
+        assert spawn_seeds(1234, 5) == spawn_seeds(1234, 5)
+
+    def test_prefix_stable(self):
+        # Growing n must not change the already-derived seeds.
+        assert spawn_seeds(7, 8)[:3] == spawn_seeds(7, 3)
+
+    def test_pairwise_distinct(self):
+        seeds = spawn_seeds(0, 64)
+        assert len(set(seeds)) == 64
+
+    def test_different_roots_differ(self):
+        assert spawn_seeds(1, 4) != spawn_seeds(2, 4)
+
+    def test_bounds_and_types(self):
+        for seed in spawn_seeds(99, 16):
+            assert isinstance(seed, int)
+            assert 0 <= seed < 2**63
+
+    def test_zero_children(self):
+        assert spawn_seeds(1, 0) == []
+
+    def test_none_root_gives_fresh_entropy(self):
+        first = spawn_seeds(None, 3)
+        assert len(first) == 3 and all(s >= 0 for s in first)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            spawn_seeds(1, -1)
+        with pytest.raises(ValueError):
+            spawn_seeds(-5, 2)
+
+    def test_seeds_feed_np_random(self):
+        for seed in spawn_seeds(3, 4):
+            rng, used = np_random(seed)
+            assert used == seed
+            rng.random()
+
+
+class TestStableHash:
+    def test_known_fnv1a_vector(self):
+        # FNV-1a 32-bit of the empty string is the offset basis.
+        assert stable_hash("") == 0x811C9DC5
+
+    def test_deterministic_and_distinct(self):
+        assert stable_hash("OS-ELM") == stable_hash("OS-ELM")
+        assert stable_hash("OS-ELM") != stable_hash("DQN")
+
+    def test_32_bit_range(self):
+        for key in ("ELM", "OS-ELM-L2-Lipschitz", "FPGA"):
+            assert 0 <= stable_hash(key) < 2**32
 
 
 class TestNpRandom:
