@@ -66,6 +66,46 @@ def verify_sync_subproc_identical(num_envs: int = 3, steps: int = 150,
         sync_env.close()
 
 
+def bench_subproc_batching(num_envs: int = 2, messages: int = 200,
+                           batch_sizes=(1, 4), seed: int = 77) -> list:
+    """Messages/sec and env-steps/sec of SubprocVectorEnv per steps_per_message.
+
+    Each configuration drives the same number of pipe messages with a fixed
+    action stream; with ``steps_per_message=k`` every message advances up to
+    k env steps, so the round-trip cost amortizes and aggregate env-steps/sec
+    should rise with k (the ROADMAP item this measures).
+    """
+    rows = []
+    base_rate = None
+    for k in batch_sizes:
+        env_fns = [EnvFactory("CartPole-v0", seed=seed + i) for i in range(num_envs)]
+        venv = SubprocVectorEnv(env_fns, steps_per_message=k)
+        try:
+            venv.reset(seed=seed)
+            rng = np.random.default_rng(seed)
+            env_steps = 0
+            start = time.perf_counter()
+            for _ in range(messages):
+                actions = rng.integers(0, 2, size=num_envs)
+                result = venv.step(actions)
+                env_steps += sum(info.get("frames", 1) for info in result.infos)
+            seconds = time.perf_counter() - start
+        finally:
+            venv.close()
+        rate = env_steps / seconds
+        if base_rate is None:
+            base_rate = rate
+        rows.append({
+            "steps_per_message": k,
+            "messages": messages,
+            "env_steps": env_steps,
+            "seconds": round(seconds, 3),
+            "env_steps_per_sec": round(rate),
+            "speedup": round(rate / base_rate, 2),
+        })
+    return rows
+
+
 def bench(args: argparse.Namespace) -> int:
     training = TrainingConfig(max_episodes=args.episodes,
                               solved_threshold=10_000.0,   # fixed workload: never early-stop
@@ -113,6 +153,12 @@ def bench(args: argparse.Namespace) -> int:
         })
 
     print(format_table(rows, title="Parallel rollout throughput"))
+
+    batching_rows = bench_subproc_batching(
+        messages=100 if args.smoke else 400)
+    print()
+    print(format_table(batching_rows,
+                       title="SubprocVectorEnv: env steps batched per pipe message"))
 
     identical = verify_sync_subproc_identical()
     print(f"\nSyncVectorEnv == SubprocVectorEnv trajectories (seeded): "

@@ -9,6 +9,18 @@ PYNQ-Z1 FPGA platform.
 
 Quickstart
 ----------
+Every paper deliverable runs through the unified experiment API::
+
+    python -m repro run figure4 --ci --backend vectorized
+
+or programmatically:
+
+>>> from repro import run_experiment
+>>> report = run_experiment("figure4", scale="ci")
+>>> print(report.render())              # doctest: +SKIP
+
+Single agents train directly:
+
 >>> from repro import make_design, train_agent, TrainingConfig
 >>> agent = make_design("OS-ELM-L2-Lipschitz", n_hidden=32, seed=0)
 >>> result = train_agent(agent, config=TrainingConfig(max_episodes=200))
@@ -51,8 +63,18 @@ from repro.parallel import (
     make_vector,
     train_agents_lockstep,
 )
+from repro.api import (
+    ArtifactStore,
+    Budget,
+    ExperimentSpec,
+    RunReport,
+    get_spec,
+    list_experiments,
+    register_experiment,
+)
+from repro.api import run as run_experiment
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AgentConfig",
@@ -87,5 +109,13 @@ __all__ = [
     "evaluate_agent_vectorized",
     "make_vector",
     "train_agents_lockstep",
+    "ArtifactStore",
+    "Budget",
+    "ExperimentSpec",
+    "RunReport",
+    "get_spec",
+    "list_experiments",
+    "register_experiment",
+    "run_experiment",
     "__version__",
 ]

@@ -1,0 +1,140 @@
+"""``python -m repro``: list, run and report experiments from the shell.
+
+Subcommands
+-----------
+``repro list``
+    The registered experiments with their grids and budgets.
+``repro run <name|spec.json> [--ci] [--backend B] [--out DIR] [--csv PATH]``
+    Execute an experiment (registered name at ``--ci``/paper scale, or a
+    spec JSON file) with artifact-store caching: a second invocation with
+    the same spec completes from cache.  ``--no-resume`` forces retraining.
+``repro report <name|spec.json> [--ci] [--out DIR] [--csv PATH]``
+    Re-render a finished run purely from cached artifacts (no training;
+    errors if trials are missing).
+
+The summary table printed by ``run``/``report`` is identical to what the
+legacy harnesses rendered, and ``--csv`` writes the same rows as CSV — the
+CI workflow diffs those files across backends to guard backend equivalence.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.api.engine import BACKENDS, RunReport, run
+from repro.api.registry import get_spec, list_experiments
+from repro.api.spec import ExperimentSpec
+from repro.experiments.reporting import format_table
+from repro.utils.serialization import load_json
+
+
+def _resolve_spec(name_or_path: str, scale: str) -> ExperimentSpec:
+    """A registered name, or a path to a spec JSON written by ``to_json``."""
+    path = Path(name_or_path)
+    if name_or_path.endswith(".json") or path.is_file():
+        return ExperimentSpec.from_json(load_json(path))
+    return get_spec(name_or_path, scale=scale)
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    rows = []
+    for entry in list_experiments():
+        spec = entry.paper
+        rows.append({
+            "name": entry.name,
+            "kind": spec.kind,
+            "grid": (f"{len(spec.designs)} designs x {len(spec.hidden_sizes)} sizes"
+                     if spec.kind != "resource_table"
+                     else f"{len(spec.hidden_sizes)} sizes"),
+            "paper_episodes": spec.budget.max_episodes,
+            "ci_episodes": entry.ci.budget.max_episodes,
+            "description": entry.description,
+        })
+    print(format_table(rows, title="Registered experiments (repro run <name>)"))
+    return 0
+
+
+def _finish(report: RunReport, args: argparse.Namespace) -> int:
+    if not args.quiet:
+        print(report.render())
+        if report.spec.kind != "resource_table":
+            cached = report.cached_count
+            print(f"\n{len(report.trials)} trials "
+                  f"({cached} from cache, {report.executed_count} executed; "
+                  f"backends: {report.backend_counts()}) "
+                  f"in {report.wall_time_seconds:.2f}s")
+            if report.store_root is not None:
+                print(f"artifacts: {report.store_root}")
+    if args.csv is not None:
+        Path(args.csv).parent.mkdir(parents=True, exist_ok=True)
+        Path(args.csv).write_text(report.summary_csv(), encoding="utf-8")
+        if not args.quiet:
+            print(f"summary csv: {args.csv}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    spec = _resolve_spec(args.experiment, "ci" if args.ci else "paper")
+    report = run(spec, backend=args.backend, out=args.out,
+                 resume=not args.no_resume, max_workers=args.max_workers)
+    return _finish(report, args)
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    spec = _resolve_spec(args.experiment, "ci" if args.ci else "paper")
+    try:
+        report = run(spec, backend="serial", out=args.out, cache_only=True)
+    except RuntimeError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    return _finish(report, args)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Unified experiment runner for the paper reproduction.")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="show registered experiments"
+                        ).set_defaults(handler=_cmd_list)
+
+    def add_common(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("experiment",
+                         help="registered name (see `repro list`) or spec JSON path")
+        sub.add_argument("--ci", action="store_true",
+                         help="use the minutes-scale CI variant of a registered name")
+        sub.add_argument("--out", default="artifacts",
+                         help="artifact store root (default: ./artifacts)")
+        sub.add_argument("--csv", default=None, metavar="PATH",
+                         help="also write the summary rows as CSV")
+        sub.add_argument("--quiet", action="store_true",
+                         help="suppress the rendered table")
+
+    runner = commands.add_parser("run", help="execute an experiment (with resume)")
+    add_common(runner)
+    runner.add_argument("--backend", default="auto", choices=BACKENDS,
+                        help="execution backend (default: auto = vectorized "
+                             "with serial fallback)")
+    runner.add_argument("--no-resume", action="store_true",
+                        help="ignore cached trials and retrain everything")
+    runner.add_argument("--max-workers", type=int, default=None,
+                        help="pool size for the process backend")
+    runner.set_defaults(handler=_cmd_run)
+
+    reporter = commands.add_parser(
+        "report", help="re-render a finished run from cached artifacts only")
+    add_common(reporter)
+    reporter.set_defaults(handler=_cmd_report)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+__all__ = ["build_parser", "main"]

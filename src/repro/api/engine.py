@@ -1,0 +1,205 @@
+"""The one front door: ``run(spec_or_name)`` executes any experiment spec.
+
+Every trial — serial, vectorized or process-pooled — goes through
+:class:`~repro.parallel.sweep.SweepRunner`, so the four bespoke launch paths
+of the legacy harnesses collapse into one engine with interchangeable
+backends.  On top of that single code path the engine adds:
+
+* **registry resolution** — pass ``"figure4"`` instead of building a spec;
+* **artifact-store caching** — with a store attached, finished trials are
+  content-addressed on disk and later runs of the same (or an overlapping)
+  spec complete from cache instead of retraining;
+* **uniform reporting** — the returned :class:`RunReport` renders the same
+  tables/CSVs the legacy harnesses printed.
+
+Library calls default to ``store=None`` (pure, no disk writes); the CLI
+attaches a store so ``repro run`` resumes for free.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.api.registry import get_spec
+from repro.api.spec import ExperimentSpec
+from repro.api.store import ArtifactStore, trial_key
+from repro.parallel.sweep import SweepRunner, SweepTask
+from repro.rl.recording import TrainingResult
+from repro.utils.logging import get_logger
+
+_LOGGER = get_logger("repro.api.engine")
+
+#: Accepted ``backend=`` values (superset of SweepRunner's: same names).
+BACKENDS = SweepRunner.BACKENDS
+
+
+@dataclass
+class TrialRecord:
+    """One executed (or cache-restored) trial of a run."""
+
+    task: SweepTask
+    result: TrainingResult
+    backend_used: str            #: "lockstep" | "serial-fallback" | "process" | "serial"
+    cached: bool = False         #: True when restored from the artifact store
+
+
+@dataclass
+class RunReport:
+    """Everything one :func:`run` call produced, in spec grid order."""
+
+    spec: ExperimentSpec
+    backend: str
+    trials: List[TrialRecord] = field(default_factory=list)
+    wall_time_seconds: float = 0.0
+    store_root: Optional[str] = None
+    resource_report: Optional[object] = None   #: set for kind="resource_table"
+
+    @property
+    def cached_count(self) -> int:
+        return sum(record.cached for record in self.trials)
+
+    @property
+    def executed_count(self) -> int:
+        return len(self.trials) - self.cached_count
+
+    def backend_counts(self) -> Dict[str, int]:
+        return dict(Counter(record.backend_used for record in self.trials))
+
+    def results(self) -> List[TrainingResult]:
+        return [record.result for record in self.trials]
+
+    # -------------------------------------------------------------- reporting
+    # Thin delegates to repro.api.reports so presentation stays in one module.
+    def summary_rows(self, *, platform=None) -> List[Dict[str, object]]:
+        from repro.api import reports
+
+        return reports.summary_rows(self, platform=platform)
+
+    def render(self, *, platform=None) -> str:
+        from repro.api import reports
+
+        return reports.render(self, platform=platform)
+
+    def summary_csv(self, *, platform=None) -> str:
+        from repro.api import reports
+
+        return reports.summary_csv(self, platform=platform)
+
+    def to_training_curve_result(self):
+        from repro.api import reports
+
+        return reports.training_curve_result(self)
+
+    def to_execution_time_result(self, *, platform=None):
+        from repro.api import reports
+
+        return reports.execution_time_result(self, platform=platform)
+
+
+def run(spec_or_name: Union[str, ExperimentSpec], *, backend: str = "auto",
+        scale: str = "paper", out: Optional[str] = None,
+        store: Optional[ArtifactStore] = None, resume: bool = True,
+        cache_only: bool = False, max_workers: Optional[int] = None) -> RunReport:
+    """Execute an experiment spec (or registered name) and return its report.
+
+    Parameters
+    ----------
+    spec_or_name:
+        An :class:`ExperimentSpec`, or the name of a registered experiment
+        (``"figure4"``, ``"table3"``, a user-registered name, ...).
+    backend:
+        ``"auto"`` (vectorized with serial fallback), ``"vectorized"``,
+        ``"process"`` or ``"serial"`` — forwarded to
+        :class:`~repro.parallel.sweep.SweepRunner`.  Every backend produces
+        identical results; the choice is purely about throughput.
+    scale:
+        ``"paper"`` or ``"ci"`` — which registered variant a *name* resolves
+        to.  Ignored when a spec object is passed.
+    out:
+        Artifact-store root.  Shorthand for ``store=ArtifactStore(out)``.
+    store:
+        An explicit :class:`ArtifactStore`.  ``None`` (and no ``out``) runs
+        without caching — nothing is written to disk.
+    resume:
+        With a store attached, load cached trials instead of retraining
+        (default).  ``False`` forces re-execution (artifacts are rewritten).
+    cache_only:
+        Do not train at all: every trial must already be in the store
+        (raises ``RuntimeError`` otherwise).  This is ``repro report``.
+    max_workers:
+        Pool size for the process backend.
+    """
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; choose from {BACKENDS}")
+    if isinstance(spec_or_name, ExperimentSpec):
+        spec = spec_or_name
+    else:
+        spec = get_spec(spec_or_name, scale=scale)
+    if store is None and out is not None:
+        store = ArtifactStore(out)
+
+    start = time.perf_counter()
+    if spec.kind == "resource_table":
+        return _run_resource_table(spec, backend, start)
+
+    tasks = spec.tasks()
+    records: Dict[Tuple[str, str, int, int], TrialRecord] = {}
+
+    # ---- cache pass ------------------------------------------------------
+    misses: List[SweepTask] = []
+    for task in tasks:
+        cached = store.load_trial(task) if (store is not None and resume) else None
+        if cached is not None:
+            result, backend_used = cached
+            records[task.key()] = TrialRecord(task, result, backend_used, cached=True)
+        else:
+            misses.append(task)
+    if cache_only and misses:
+        missing = ", ".join(f"{t.design}/{t.env_id}/h{t.n_hidden}/t{t.trial}"
+                            for t in misses[:5])
+        raise RuntimeError(
+            f"{len(misses)} of {len(tasks)} trials are not in the artifact store "
+            f"(first: {missing}); run `repro run {spec.name}` first")
+
+    # ---- execute misses through the one sweep engine ---------------------
+    if misses:
+        _LOGGER.info("run started", spec=spec.name, backend=backend,
+                     trials=len(tasks), cached=len(tasks) - len(misses))
+        sweep = SweepRunner(misses, backend=backend, max_workers=max_workers).run()
+        for (task, result), backend_used in zip(sweep.entries, sweep.backends_used):
+            records[task.key()] = TrialRecord(task, result, backend_used)
+            if store is not None:
+                store.save_trial(task, result, backend_used=backend_used)
+
+    report = RunReport(
+        spec=spec,
+        backend=backend,
+        trials=[records[task.key()] for task in tasks],
+        wall_time_seconds=time.perf_counter() - start,
+        store_root=str(store.root) if store is not None else None,
+    )
+    if store is not None:
+        store.save_run(spec, [trial_key(task) for task in tasks],
+                       backend=backend,
+                       backends_used=[r.backend_used for r in report.trials])
+    _LOGGER.info("run finished", spec=spec.name,
+                 seconds=round(report.wall_time_seconds, 2),
+                 cached=report.cached_count, executed=report.executed_count)
+    return report
+
+
+def _run_resource_table(spec: ExperimentSpec, backend: str,
+                        start: float) -> RunReport:
+    """Resource-table specs have no trials: evaluate the area model directly."""
+    from repro.experiments.resource_table import resource_table
+
+    report = RunReport(spec=spec, backend=backend)
+    report.resource_report = resource_table(spec.hidden_sizes)
+    report.wall_time_seconds = time.perf_counter() - start
+    return report
+
+
+__all__ = ["BACKENDS", "RunReport", "TrialRecord", "run"]

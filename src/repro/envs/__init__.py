@@ -14,7 +14,7 @@ the relevant slice of the Gym API from scratch:
 
 from repro.envs.core import Env, EnvSpec, StepResult
 from repro.envs.spaces import Box, Discrete, Space
-from repro.envs.registry import make, register, registry, spec
+from repro.envs.registry import env_dimensions, make, register, registry, spec
 from repro.envs.cartpole import CartPoleEnv
 from repro.envs.mountain_car import MountainCarEnv
 from repro.envs.acrobot import AcrobotEnv
@@ -27,6 +27,7 @@ __all__ = [
     "Box",
     "Discrete",
     "Space",
+    "env_dimensions",
     "make",
     "register",
     "registry",

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.envs.acrobot import AcrobotEnv
 from repro.envs.cartpole import CartPoleEnv
@@ -39,6 +39,24 @@ def spec(env_id: str) -> EnvSpec:
     if env_id not in registry:
         raise KeyError(f"unknown environment id {env_id!r}; registered: {sorted(registry)}")
     return registry[env_id].spec
+
+
+def env_dimensions(env_id: str) -> Tuple[int, int]:
+    """(n_observations, n_actions) of a registered discrete-action env.
+
+    The experiment machinery uses this to size agents for whatever
+    environment a spec names, instead of assuming CartPole's (4, 2).
+    """
+    env = make(env_id)
+    try:
+        n_actions = getattr(env.action_space, "n", None)
+        if n_actions is None:
+            raise ValueError(
+                f"{env_id!r} does not have a discrete action space; the design "
+                "agents require one")
+        return int(env.n_observations), int(n_actions)
+    finally:
+        env.close()
 
 
 def make(env_id: str, *, seed: Optional[int] = None, record_statistics: bool = False,

@@ -1,5 +1,11 @@
 """Experiment harnesses that regenerate the paper's tables and figures.
 
+The harness classes are deprecated shims over the unified experiment API
+(:mod:`repro.api`): their ``ci_scale``/``paper_scale`` constructors resolve
+registered specs (``figure4``, ``figure5``) and ``run()`` delegates to the
+one engine, keeping summaries byte-identical to the historical loops.  New
+code should prefer ``repro.api.run("figure4")`` / ``python -m repro run``.
+
 Each harness returns plain data structures (lists of dict rows, NumPy
 arrays) and can render them as aligned text tables, so the benchmarks and
 examples can print output directly comparable to the paper:

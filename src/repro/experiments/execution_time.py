@@ -18,10 +18,18 @@ The reproduction:
 The measured host wall-clock breakdown is also kept for reference, but the
 modelled times are what is comparable across designs because the host CPU is
 not a 650 MHz Cortex-A9.
+
+.. deprecated::
+    :class:`ExecutionTimeExperiment` is now a thin shim over the unified
+    experiment API (the registered ``figure5``/``table2`` spec); ``run()``
+    delegates to :func:`repro.api.run` and projects the cached operation
+    counts through this instance's ``platform``.  New code should call
+    ``repro.api.run("figure5")`` or ``python -m repro run figure5``.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -56,6 +64,27 @@ PAPER_SPEEDUPS: Dict[int, Dict[str, float]] = {
     128: {"OS-ELM-L2-Lipschitz": 5.58, "FPGA": 16.49},
     192: {"OS-ELM-L2-Lipschitz": 2.18, "FPGA": 10.19},
 }
+
+
+def project_timing(result: TrainingResult, platform: PynqZ1Platform) -> "DesignTiming":
+    """Project a finished run's operation counts through a platform model.
+
+    The single projection implementation shared by the legacy harness and
+    the unified API's report adapters: trial artifacts store
+    platform-independent counts, and this turns them into modelled seconds.
+    """
+    modelled = platform.project_breakdown(
+        result.design, result.breakdown.counts, n_hidden=result.n_hidden,
+    )
+    return DesignTiming(
+        design=result.design,
+        n_hidden=result.n_hidden,
+        solved=result.solved,
+        episodes=result.episodes,
+        modelled=modelled,
+        measured=result.breakdown,
+        counts=dict(result.breakdown.counts),
+    )
 
 
 @dataclass
@@ -157,19 +186,71 @@ class ExecutionTimeExperiment:
 
     @staticmethod
     def paper_scale() -> "ExecutionTimeExperiment":
-        """Full Section 4.4 protocol (50,000-episode cutoff)."""
-        return ExecutionTimeExperiment(training=TrainingConfig(max_episodes=50_000))
+        """Full Section 4.4 protocol (50,000-episode cutoff).
+
+        Routed through the registered ``figure5`` paper-scale spec, so the
+        two scales differ only in declarative budget/grid fields.
+        """
+        from repro.api.registry import get_spec
+
+        return ExecutionTimeExperiment.from_spec(get_spec("figure5", scale="paper"))
 
     @staticmethod
     def ci_scale(designs: Sequence[str] = ("OS-ELM-L2-Lipschitz", "DQN", "FPGA"),
                  hidden_sizes: Sequence[int] = (32,),
                  max_episodes: int = 60) -> "ExecutionTimeExperiment":
-        """A minutes-scale configuration used by the benchmark suite."""
+        """A minutes-scale configuration used by the benchmark suite.
+
+        The registered ``figure5`` CI spec with the grid/budget overrides
+        applied — the same code path as ``paper_scale()``.
+        """
+        from repro.api.registry import get_spec
+
+        spec = get_spec("figure5", scale="ci").with_grid(
+            designs=tuple(designs), hidden_sizes=tuple(hidden_sizes),
+        ).with_budget(max_episodes=max_episodes)
+        return ExecutionTimeExperiment.from_spec(spec)
+
+    # ------------------------------------------------------------------ spec bridge
+    @staticmethod
+    def from_spec(spec, platform: Optional[PynqZ1Platform] = None
+                  ) -> "ExecutionTimeExperiment":
+        """Build the legacy harness view of an execution-time spec."""
         return ExecutionTimeExperiment(
-            designs=designs,
-            hidden_sizes=hidden_sizes,
-            training=TrainingConfig(max_episodes=max_episodes, solved_threshold=60.0,
-                                    solved_window=20),
+            designs=spec.designs,
+            hidden_sizes=spec.hidden_sizes,
+            training=spec.budget.training_config(env_id=spec.env_ids[0]),
+            platform=platform if platform is not None else PynqZ1Platform(),
+            seed=spec.seed,
+            gamma=spec.gamma,
+        )
+
+    def to_spec(self, name: str = "execution-time"):
+        """This configuration as a declarative :class:`~repro.api.ExperimentSpec`.
+
+        The platform model is *not* part of the spec: trials record
+        platform-independent operation counts, and the projection happens at
+        report time with whatever platform the caller supplies.  Note
+        ``record_lipschitz`` is dropped, exactly as ``run_single`` has
+        always done for this harness.
+        """
+        from repro.api.spec import Budget, ExperimentSpec
+        from dataclasses import replace as dc_replace
+
+        budget = dc_replace(Budget.from_training_config(self.training),
+                            record_lipschitz=False)
+        return ExperimentSpec(
+            name=name,
+            kind="execution_time",
+            designs=tuple(self.designs),
+            hidden_sizes=tuple(int(h) for h in self.hidden_sizes),
+            env_ids=(self.training.env_id,),
+            n_seeds=1,
+            seed=self.seed,
+            gamma=self.gamma,
+            budget=budget,
+            seed_stride=13,
+            seed_mod=991,
         )
 
     # ------------------------------------------------------------------ execution
@@ -193,29 +274,21 @@ class ExecutionTimeExperiment:
 
     def project(self, result: TrainingResult) -> DesignTiming:
         """Project a finished training run's operation counts through the platform model."""
-        modelled = self.platform.project_breakdown(
-            result.design, result.breakdown.counts, n_hidden=result.n_hidden,
-        )
-        return DesignTiming(
-            design=result.design,
-            n_hidden=result.n_hidden,
-            solved=result.solved,
-            episodes=result.episodes,
-            modelled=modelled,
-            measured=result.breakdown,
-            counts=dict(result.breakdown.counts),
-        )
+        return project_timing(result, self.platform)
 
     def run(self) -> ExecutionTimeResult:
-        collected = ExecutionTimeResult()
-        from repro.parallel.pool import run_experiment_grid
+        """Deprecated shim: delegates to the unified engine and projects the
+        resulting operation counts through this instance's ``platform``."""
+        from repro.api.engine import run as run_experiment
 
-        grid = [(design, int(n_hidden))
-                for n_hidden in self.hidden_sizes for design in self.designs]
-        for timing in run_experiment_grid(self, grid, parallel=self.parallel,
-                                          max_workers=self.max_workers):
-            collected.add(timing)
-        return collected
+        warnings.warn(
+            "ExecutionTimeExperiment.run() is a deprecated shim; use "
+            "repro.api.run('figure5') or `python -m repro run figure5`",
+            DeprecationWarning, stacklevel=2)
+        report = run_experiment(self.to_spec(),
+                                backend="process" if self.parallel else "serial",
+                                max_workers=self.max_workers)
+        return report.to_execution_time_result(platform=self.platform)
 
 
 def fpga_breakdown_rows(result: ExecutionTimeResult,

@@ -4,6 +4,10 @@ Sweeps the hidden-layer size over the paper's values (32, 64, 128, 192, 256),
 runs the analytical area model against the xc7z020 and reports percent
 utilization of BRAM / DSP / FF / LUT — marking, like the paper, the 256-unit
 design as unimplementable because it exceeds the device's BRAM capacity.
+
+Registered with the unified experiment API as ``table3``
+(``python -m repro run table3``); the engine calls :func:`resource_table`
+directly since there are no training trials to sweep.
 """
 
 from __future__ import annotations

@@ -9,10 +9,20 @@ The paper runs each design to 50,000 episodes (or success) on the board; the
 harness exposes the same protocol but defaults to CI-scale budgets so the
 benchmark suite terminates quickly.  Use ``paper_scale()`` to get the
 full-scale configuration.
+
+.. deprecated::
+    :class:`TrainingCurveExperiment` is now a thin shim over the unified
+    experiment API: ``ci_scale()``/``paper_scale()`` resolve the registered
+    ``figure4`` spec and ``run()`` delegates to :func:`repro.api.run`, so
+    every trial goes through the one sweep engine.  New code should call
+    ``repro.api.run("figure4")`` (or ``python -m repro run figure4``)
+    directly; the shim stays because its summaries are pinned byte-identical
+    to the historical harness.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -107,19 +117,63 @@ class TrainingCurveExperiment:
 
     @staticmethod
     def paper_scale() -> "TrainingCurveExperiment":
-        """The full protocol of Section 4.3 (50,000-episode cutoff, 195/100 criterion)."""
-        return TrainingCurveExperiment(training=TrainingConfig(max_episodes=50_000))
+        """The full protocol of Section 4.3 (50,000-episode cutoff, 195/100 criterion).
+
+        Routed through the registered ``figure4`` paper-scale spec, so the
+        two scales differ only in declarative budget/grid fields.
+        """
+        from repro.api.registry import get_spec
+
+        return TrainingCurveExperiment.from_spec(get_spec("figure4", scale="paper"))
 
     @staticmethod
     def ci_scale(designs: Sequence[str] = ("OS-ELM-L2-Lipschitz", "DQN"),
                  hidden_sizes: Sequence[int] = (32,),
                  max_episodes: int = 60) -> "TrainingCurveExperiment":
-        """A minutes-scale configuration used by the benchmark suite."""
+        """A minutes-scale configuration used by the benchmark suite.
+
+        The registered ``figure4`` CI spec with the grid/budget overrides
+        applied — the same code path as ``paper_scale()``.
+        """
+        from repro.api.registry import get_spec
+
+        spec = get_spec("figure4", scale="ci").with_grid(
+            designs=tuple(designs), hidden_sizes=tuple(hidden_sizes),
+        ).with_budget(max_episodes=max_episodes)
+        return TrainingCurveExperiment.from_spec(spec)
+
+    # ------------------------------------------------------------------ spec bridge
+    @staticmethod
+    def from_spec(spec) -> "TrainingCurveExperiment":
+        """Build the legacy harness view of a training-curve spec."""
         return TrainingCurveExperiment(
-            designs=designs,
-            hidden_sizes=hidden_sizes,
-            training=TrainingConfig(max_episodes=max_episodes, solved_threshold=60.0,
-                                    solved_window=20),
+            designs=spec.designs,
+            hidden_sizes=spec.hidden_sizes,
+            training=spec.budget.training_config(env_id=spec.env_ids[0]),
+            seed=spec.seed,
+            gamma=spec.gamma,
+        )
+
+    def to_spec(self, name: str = "training-curve"):
+        """This configuration as a declarative :class:`~repro.api.ExperimentSpec`.
+
+        ``seed_stride``/``seed_mod`` are the constants ``run_single`` has
+        always used, so the spec's trials carry identical seeds.
+        """
+        from repro.api.spec import Budget, ExperimentSpec
+
+        return ExperimentSpec(
+            name=name,
+            kind="training_curve",
+            designs=tuple(self.designs),
+            hidden_sizes=tuple(int(h) for h in self.hidden_sizes),
+            env_ids=(self.training.env_id,),
+            n_seeds=1,
+            seed=self.seed,
+            gamma=self.gamma,
+            budget=Budget.from_training_config(self.training),
+            seed_stride=17,
+            seed_mod=997,
         )
 
     # ------------------------------------------------------------------ execution
@@ -144,16 +198,23 @@ class TrainingCurveExperiment:
         return train_agent(agent, config=config, n_hidden=n_hidden)
 
     def run(self) -> TrainingCurveResult:
-        """Run the full sweep and return the collected curves."""
-        from repro.parallel.pool import run_experiment_grid
+        """Run the full sweep and return the collected curves.
 
-        collected = TrainingCurveResult()
-        grid = [(design, int(n_hidden))
-                for n_hidden in self.hidden_sizes for design in self.designs]
-        for result in run_experiment_grid(self, grid, parallel=self.parallel,
-                                          max_workers=self.max_workers):
-            collected.add(result)
-        return collected
+        Deprecated shim: delegates to the unified engine
+        (:func:`repro.api.run`), which routes every trial through
+        :class:`~repro.parallel.sweep.SweepRunner`.  Results are
+        byte-identical to the historical in-class loop.
+        """
+        from repro.api.engine import run as run_experiment
+
+        warnings.warn(
+            "TrainingCurveExperiment.run() is a deprecated shim; use "
+            "repro.api.run('figure4') or `python -m repro run figure4`",
+            DeprecationWarning, stacklevel=2)
+        report = run_experiment(self.to_spec(),
+                                backend="process" if self.parallel else "serial",
+                                max_workers=self.max_workers)
+        return report.to_training_curve_result()
 
 
 def stability_classification(result: TrainingResult, *, collapse_window: int = 50,

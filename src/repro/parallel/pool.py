@@ -1,4 +1,4 @@
-"""Worker-pool fan-out shared by the sweep runner and the experiment wiring.
+"""Worker-pool fan-out behind the sweep runner's process backend.
 
 ``parallel_map`` is a thin, deterministic-by-construction wrapper around
 :class:`concurrent.futures.ProcessPoolExecutor`: results stream back to an
@@ -26,29 +26,6 @@ def default_max_workers(n_tasks: int) -> int:
     except AttributeError:  # pragma: no cover - non-Linux
         cpus = os.cpu_count() or 1
     return max(1, min(n_tasks, cpus))
-
-
-def run_experiment_grid(experiment, grid: Sequence[tuple], *, parallel: bool,
-                        max_workers: Optional[int] = None) -> List[Any]:
-    """Run an experiment's (design, n_hidden) grid cells, optionally pooled.
-
-    Shared by the Figure 4/5 experiment harnesses: every cell calls the
-    experiment's ``run_single(design, n_hidden)`` — in-process when
-    ``parallel`` is false, across a process pool otherwise — so the two
-    modes produce identical results cell-for-cell.
-    """
-    if parallel:
-        return parallel_map(_run_experiment_cell,
-                            [(experiment, design, n_hidden)
-                             for design, n_hidden in grid],
-                            max_workers=max_workers)
-    return [experiment.run_single(design, n_hidden) for design, n_hidden in grid]
-
-
-def _run_experiment_cell(args):
-    """Module-level worker for :func:`run_experiment_grid` (must be picklable)."""
-    experiment, design, n_hidden = args
-    return experiment.run_single(design, n_hidden)
 
 
 def parallel_map(fn: Callable[[T], R], items: Sequence[T], *,

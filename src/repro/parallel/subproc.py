@@ -14,6 +14,13 @@ machinery defaults to the in-process engines — see the README's
 Workers are started with the default multiprocessing start method
 (``fork`` on Linux).  With ``spawn``, the ``env_fns`` must be picklable —
 use :class:`~repro.parallel.vector_env.EnvFactory` rather than closures.
+
+For environments where the pipe round-trip still dominates, the
+``steps_per_message`` argument batches k env steps into one message
+(frame-skip style): each :meth:`SubprocVectorEnv.step` call repeats the
+given action up to k times inside the worker — stopping early at episode
+end — and ships back the final observation with the summed reward.  One
+round-trip then amortizes over k ``step()`` calls of the underlying env.
 """
 
 from __future__ import annotations
@@ -48,13 +55,24 @@ def _subproc_worker(remote: Connection, parent_remote: Connection,
                 if command == "reset":
                     result = env.reset(seed=payload)
                 elif command == "step":
-                    step = env.step(payload)
+                    action, repeat = payload
+                    total_reward = 0.0
+                    frames = 0
+                    step = None
+                    for _ in range(repeat):
+                        step = env.step(action)
+                        total_reward += step.reward
+                        frames += 1
+                        if step.done:
+                            break
                     observation = step.observation
                     info = dict(step.info)
+                    if repeat > 1:
+                        info["frames"] = frames
                     if step.done and autoreset:
                         info["final_observation"] = observation.copy()
                         observation, _ = env.reset()
-                    result = (observation, step.reward, step.terminated,
+                    result = (observation, total_reward, step.terminated,
                               step.truncated, info)
                 elif command == "spaces":
                     result = (env.observation_space, env.action_space,
@@ -91,14 +109,26 @@ class SubprocVectorEnv(VectorEnv):
     context:
         Multiprocessing start method (``"fork"``, ``"spawn"``, ...); ``None``
         uses the platform default.
+    steps_per_message:
+        Env steps advanced per pipe message (default 1).  With k > 1 each
+        :meth:`step` call repeats its action up to k times inside the worker
+        (stopping early at episode end; frame-skip semantics), cutting the
+        round-trip count by up to k for heavyweight environments.  Rewards
+        come back summed over the frames actually advanced and
+        ``infos[i]["frames"]`` reports that count.
     """
 
     def __init__(self, env_fns: Sequence[Callable[[], Env]], *,
-                 autoreset: bool = True, context: Optional[str] = None) -> None:
+                 autoreset: bool = True, context: Optional[str] = None,
+                 steps_per_message: int = 1) -> None:
         if not env_fns:
             raise ValueError("SubprocVectorEnv needs at least one env_fn")
+        if steps_per_message < 1:
+            raise ValueError(
+                f"steps_per_message must be >= 1, got {steps_per_message}")
         ctx = mp.get_context(context)
         self.num_envs = len(env_fns)
+        self.steps_per_message = int(steps_per_message)
         self.autoreset = bool(autoreset)
         self._remotes: List[Connection] = []
         self._processes: List[mp.Process] = []
@@ -137,7 +167,7 @@ class SubprocVectorEnv(VectorEnv):
         self._ensure_open()
         actions = self._check_actions(actions)
         for remote, action in zip(self._remotes, actions):
-            remote.send(("step", action))
+            remote.send(("step", (action, self.steps_per_message)))
         observations = np.empty((self.num_envs, self._obs_dim))
         rewards = np.empty(self.num_envs)
         terminated = np.zeros(self.num_envs, dtype=bool)

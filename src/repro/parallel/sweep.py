@@ -33,9 +33,9 @@ Backends
 from __future__ import annotations
 
 import time
-from collections import defaultdict
+from collections import Counter, defaultdict
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -75,11 +75,18 @@ class SweepTask:
     seed: int
     trial: int                        #: trial index within (design, env_id)
     training: TrainingConfig          #: per-trial protocol (seed already embedded)
+    n_states: int = 4                 #: env observation dims (CartPole default)
+    n_actions: int = 2                #: env action count (CartPole default)
 
     def make_agent(self):
         """Instantiate the trial's agent (called inside the executing worker)."""
-        return make_design(self.design, n_hidden=self.n_hidden, gamma=self.gamma,
-                           seed=self.seed)
+        return make_design(self.design, n_states=self.n_states,
+                           n_actions=self.n_actions, n_hidden=self.n_hidden,
+                           gamma=self.gamma, seed=self.seed)
+
+    def key(self) -> Tuple[str, str, int, int]:
+        """The grid coordinate identifying this task within one sweep."""
+        return (self.design, self.env_id, self.n_hidden, self.trial)
 
 
 @dataclass(frozen=True)
@@ -112,17 +119,22 @@ class SweepSpec:
 
     def tasks(self) -> List[SweepTask]:
         """Expand the grid into seeded tasks (design-major, then env, then trial)."""
+        from repro.envs.registry import env_dimensions
+
         grid = [(design, env_id, trial)
                 for design in self.designs
                 for env_id in self.env_ids
                 for trial in range(self.n_seeds)]
         seeds = spawn_seeds(self.root_seed, len(grid))
+        env_dims = {env_id: env_dimensions(env_id) for env_id in self.env_ids}
         tasks = []
         for (design, env_id, trial), seed in zip(grid, seeds):
             training = replace(self.training, env_id=env_id, seed=seed)
+            n_states, n_actions = env_dims[env_id]
             tasks.append(SweepTask(design=design, env_id=env_id,
                                    n_hidden=self.n_hidden, gamma=self.gamma,
-                                   seed=seed, trial=trial, training=training))
+                                   seed=seed, trial=trial, training=training,
+                                   n_states=n_states, n_actions=n_actions))
         return tasks
 
 
@@ -139,12 +151,33 @@ class SweepResult:
     entries: List[Tuple[SweepTask, TrainingResult]] = field(default_factory=list)
     backend: str = "serial"
     wall_time_seconds: float = 0.0
+    #: Execution path actually taken per entry, aligned with ``entries``:
+    #: ``"lockstep"``, ``"serial-fallback"`` (vectorized backend falling back
+    #: for non-batchable designs), ``"process"`` or ``"serial"``.  Makes the
+    #: sweep auditable: an unregularized OS-ELM silently routed around the
+    #: lock-step trainer shows up here rather than disappearing into an
+    #: aggregate.
+    backends_used: List[str] = field(default_factory=list)
 
-    def add(self, task: SweepTask, result: TrainingResult) -> None:
+    def add(self, task: SweepTask, result: TrainingResult,
+            backend_used: Optional[str] = None) -> None:
         self.entries.append((task, result))
+        self.backends_used.append(backend_used if backend_used is not None
+                                  else self.backend)
 
     def __len__(self) -> int:
         return len(self.entries)
+
+    def backend_for(self, task: SweepTask) -> str:
+        """The execution path one task actually took."""
+        for (entry_task, _), backend_used in zip(self.entries, self.backends_used):
+            if entry_task.key() == task.key():
+                return backend_used
+        raise KeyError(f"no entry for task {task.key()!r}")
+
+    def backend_counts(self) -> Dict[str, int]:
+        """How many trials each execution path handled, e.g. ``{"lockstep": 3}``."""
+        return dict(Counter(self.backends_used))
 
     # ------------------------------------------------------------------ selection
     def results_for(self, design: Optional[str] = None,
@@ -198,6 +231,9 @@ class SweepResult:
 
     def summary_rows(self) -> List[Dict[str, object]]:
         rows = []
+        group_backends: Dict[Tuple[str, str], set] = defaultdict(set)
+        for (task, _), backend_used in zip(self.entries, self.backends_used):
+            group_backends[(task.design, task.env_id)].add(backend_used)
         for design, env_id in self.groups():
             results = self.results_for(design, env_id)
             solve_counts = [result.episodes_to_solve for result in results
@@ -206,6 +242,7 @@ class SweepResult:
                 "design": design,
                 "env_id": env_id,
                 "trials": len(results),
+                "backend_used": "+".join(sorted(group_backends[(design, env_id)])),
                 "solved": f"{sum(result.solved for result in results)}/{len(results)}",
                 "mean_episodes_to_solve": (round(float(np.mean(solve_counts)), 1)
                                            if solve_counts else None),
@@ -221,12 +258,16 @@ class SweepResult:
 
 
 class SweepRunner:
-    """Execute a :class:`SweepSpec` grid on a chosen backend.
+    """Execute a sweep grid on a chosen backend.
 
     Parameters
     ----------
     spec:
-        The sweep grid.
+        The sweep grid: either a :class:`SweepSpec` (expanded via
+        :meth:`SweepSpec.tasks`) or an explicit sequence of
+        :class:`SweepTask` — the form the unified experiment API
+        (:mod:`repro.api`) uses so every front door routes trials through
+        this one engine.
     backend:
         ``"auto"`` (default), ``"vectorized"``, ``"process"`` or ``"serial"``.
     max_workers:
@@ -236,18 +277,37 @@ class SweepRunner:
 
     BACKENDS = ("auto", "vectorized", "process", "serial")
 
-    def __init__(self, spec: SweepSpec, *, backend: str = "auto",
-                 max_workers: Optional[int] = None) -> None:
+    def __init__(self, spec: Union[SweepSpec, Sequence[SweepTask]], *,
+                 backend: str = "auto", max_workers: Optional[int] = None) -> None:
         if backend not in self.BACKENDS:
             raise ValueError(f"unknown backend {backend!r}; choose from {self.BACKENDS}")
+        if not isinstance(spec, SweepSpec):
+            tasks = list(spec)
+            bad = [task for task in tasks if not isinstance(task, SweepTask)]
+            if bad:
+                raise TypeError(
+                    f"explicit task lists must contain SweepTask instances, got "
+                    f"{type(bad[0]).__name__}"
+                )
+            if not tasks:
+                raise ValueError("explicit task list must not be empty")
+            # Keep the materialized list, not the input iterable: a generator
+            # argument is already exhausted by the validation above.
+            spec = tasks
         self.spec = spec
         self.backend = "vectorized" if backend == "auto" else backend
         self.max_workers = max_workers
 
+    def tasks(self) -> List[SweepTask]:
+        """The task list this runner will execute, in grid order."""
+        if isinstance(self.spec, SweepSpec):
+            return self.spec.tasks()
+        return list(self.spec)
+
     def run(self, callback: Optional[Callable[[SweepTask, TrainingResult], None]] = None
             ) -> SweepResult:
         """Run every task; ``callback(task, result)`` streams completions."""
-        tasks = self.spec.tasks()
+        tasks = self.tasks()
         sweep = SweepResult(backend=self.backend)
         start = time.perf_counter()
         _LOGGER.info("sweep started", backend=self.backend, tasks=len(tasks))
@@ -259,13 +319,13 @@ class SweepRunner:
             results = parallel_map(_run_sweep_task, tasks, backend="process",
                                    max_workers=self.max_workers, callback=stream)
             for task, result in zip(tasks, results):
-                sweep.add(task, result)
+                sweep.add(task, result, backend_used="process")
         elif self.backend == "serial":
             for task in tasks:
                 result = _run_sweep_task(task)
                 if callback is not None:
                     callback(task, result)
-                sweep.add(task, result)
+                sweep.add(task, result, backend_used="serial")
         else:
             self._run_vectorized(tasks, sweep, callback)
         sweep.wall_time_seconds = time.perf_counter() - start
@@ -292,9 +352,9 @@ class SweepRunner:
             for task, result in zip(group_tasks, results):
                 if callback is not None:
                     callback(task, result)
-                sweep.add(task, result)
+                sweep.add(task, result, backend_used="lockstep")
         for task in leftovers:
             result = _run_sweep_task(task)
             if callback is not None:
                 callback(task, result)
-            sweep.add(task, result)
+            sweep.add(task, result, backend_used="serial-fallback")

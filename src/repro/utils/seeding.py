@@ -9,6 +9,7 @@ bit-for-bit given a seed.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Iterator, List, Optional, Tuple, Union
 
 import numpy as np
@@ -59,6 +60,19 @@ def stable_hash(key: str) -> int:
     for byte in key.encode("utf-8"):
         acc = ((acc ^ byte) * 0x01000193) & 0xFFFFFFFF
     return acc
+
+
+def stable_digest(text: str, *, length: int = 16) -> str:
+    """Hex digest of a string, stable across processes and Python versions.
+
+    The wide (SHA-256-based) companion of :func:`stable_hash`: where
+    ``stable_hash`` folds a string into 32 bits for seed arithmetic, this
+    returns a ``length``-character hex string suitable for content-addressing
+    artifacts on disk (the experiment store keys every trial and spec by it).
+    """
+    if length <= 0 or length > 64:
+        raise ValueError(f"length must be in [1, 64], got {length}")
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:length]
 
 
 def np_random(seed: SeedLike = None) -> Tuple[np.random.Generator, int]:

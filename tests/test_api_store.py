@@ -1,0 +1,134 @@
+"""Tests for the artifact store: content addressing, round-trips, resume."""
+
+import numpy as np
+import pytest
+
+from repro.api import ArtifactStore, Budget, ExperimentSpec, run, trial_key
+from repro.api.store import trial_descriptor
+from repro.rl.runner import train_agent
+
+
+def _tiny_spec(name="store-spec", **overrides):
+    defaults = dict(designs=("OS-ELM-L2",), hidden_sizes=(8,),
+                    budget=Budget(max_episodes=4))
+    defaults.update(overrides)
+    return ExperimentSpec(name=name, **defaults)
+
+
+def _train(task):
+    return train_agent(task.make_agent(), config=task.training,
+                       n_hidden=task.n_hidden)
+
+
+class TestTrialKey:
+    def test_deterministic_and_sensitive(self):
+        spec = _tiny_spec()
+        task = spec.tasks()[0]
+        assert trial_key(task) == trial_key(spec.tasks()[0])
+        other = _tiny_spec().with_budget(max_episodes=5).tasks()[0]
+        assert trial_key(task) != trial_key(other)
+        descriptor = trial_descriptor(task)
+        assert descriptor["design"] == "OS-ELM-L2"
+        assert descriptor["training"]["max_episodes"] == 4
+
+    def test_key_is_spec_independent(self):
+        """Two specs expanding to the same trial share one artifact."""
+        a = _tiny_spec(name="a").tasks()[0]
+        b = _tiny_spec(name="b").tasks()[0]
+        assert trial_key(a) == trial_key(b)
+
+
+class TestStoreRoundTrip:
+    def test_save_load_preserves_result(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        task = _tiny_spec().tasks()[0]
+        result = _train(task)
+        assert not store.has_trial(task)
+        store.save_trial(task, result, backend_used="serial")
+        assert store.has_trial(task)
+        loaded, backend_used = store.load_trial(task)
+        assert backend_used == "serial"
+        assert loaded.design == result.design
+        assert loaded.solved == result.solved
+        assert loaded.episodes == result.episodes
+        assert loaded.episodes_to_solve == result.episodes_to_solve
+        assert loaded.seed == result.seed
+        assert loaded.weight_resets == result.weight_resets
+        np.testing.assert_array_equal(loaded.curve.steps, result.curve.steps)
+        np.testing.assert_array_equal(loaded.curve.moving_average,
+                                      result.curve.moving_average)
+        assert loaded.breakdown.counts == result.breakdown.counts
+        assert loaded.breakdown.seconds == pytest.approx(result.breakdown.seconds)
+        # summary_rows-visible fields must survive the round trip exactly.
+        assert loaded.curve.final_average() == result.curve.final_average()
+
+    def test_missing_trial_reads_as_none(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        assert store.load_trial(_tiny_spec().tasks()[0]) is None
+
+    def test_corrupt_artifact_reads_as_miss(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        task = _tiny_spec().tasks()[0]
+        store.save_trial(task, _train(task), backend_used="serial")
+        (store.trial_dir(trial_key(task)) / "trial.json").write_text("{broken")
+        assert store.load_trial(task) is None
+
+    @pytest.mark.parametrize("content", [b"", b"PK\x03\x04truncated-archive"])
+    def test_partial_npz_reads_as_miss(self, tmp_path, content):
+        """A run killed mid-save leaves an empty/truncated curve.npz; later
+        runs must treat that trial as a miss, not crash in the cache pass."""
+        store = ArtifactStore(tmp_path)
+        task = _tiny_spec().tasks()[0]
+        store.save_trial(task, _train(task), backend_used="serial")
+        (store.trial_dir(trial_key(task)) / "curve.npz").write_bytes(content)
+        assert store.load_trial(task) is None
+        # and the engine reruns it rather than aborting
+        report = run(_tiny_spec(), backend="serial", store=store)
+        assert report.executed_count == 1
+
+
+class TestEngineCaching:
+    def test_cache_miss_then_hit(self, tmp_path):
+        spec = _tiny_spec()
+        first = run(spec, backend="serial", out=str(tmp_path))
+        assert first.cached_count == 0 and first.executed_count == 1
+        second = run(spec, backend="serial", out=str(tmp_path))
+        assert second.cached_count == 1 and second.executed_count == 0
+        assert second.summary_rows() == first.summary_rows()
+        # run-level record exists for `repro report`
+        store = ArtifactStore(tmp_path)
+        record = store.load_run(spec.spec_hash)
+        assert record is not None
+        assert record["trial_keys"] == [trial_key(spec.tasks()[0])]
+
+    def test_cache_shared_across_backends(self, tmp_path):
+        spec = _tiny_spec()
+        run(spec, backend="vectorized", out=str(tmp_path))
+        cached = run(spec, backend="serial", out=str(tmp_path))
+        assert cached.cached_count == 1
+        assert cached.trials[0].backend_used == "lockstep"   # provenance preserved
+
+    def test_no_resume_forces_rerun(self, tmp_path):
+        spec = _tiny_spec()
+        run(spec, backend="serial", out=str(tmp_path))
+        forced = run(spec, backend="serial", out=str(tmp_path), resume=False)
+        assert forced.cached_count == 0 and forced.executed_count == 1
+
+    def test_cache_only_raises_on_missing(self, tmp_path):
+        with pytest.raises(RuntimeError, match="not in the artifact store"):
+            run(_tiny_spec(), backend="serial", out=str(tmp_path), cache_only=True)
+
+    def test_overlapping_spec_reuses_trials(self, tmp_path):
+        """A wider spec whose grid contains an already-run cell must reuse it."""
+        run(_tiny_spec(), backend="serial", out=str(tmp_path))
+        wider = _tiny_spec(name="wider", designs=("OS-ELM-L2", "ELM"))
+        report = run(wider, backend="serial", out=str(tmp_path))
+        cached = {record.task.design: record.cached for record in report.trials}
+        assert cached == {"OS-ELM-L2": True, "ELM": False}
+
+    def test_no_store_runs_pure(self, tmp_path, monkeypatch):
+        """Without out/store nothing may be written to the default root."""
+        monkeypatch.chdir(tmp_path)
+        report = run(_tiny_spec(), backend="serial")
+        assert report.store_root is None
+        assert not (tmp_path / "artifacts").exists()

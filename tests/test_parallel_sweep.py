@@ -176,6 +176,54 @@ class TestSweepRunner:
             SweepRunner(SweepSpec(training=TrainingConfig(max_episodes=2)),
                         backend="gpu")
 
+    def test_explicit_task_list(self):
+        """SweepRunner accepts a pre-built task list (the repro.api path) and
+        reproduces the spec-driven run exactly."""
+        spec = SweepSpec(designs=("OS-ELM-L2",), n_seeds=2, n_hidden=8,
+                         training=TrainingConfig(max_episodes=6), root_seed=13)
+        from_spec = SweepRunner(spec, backend="serial").run()
+        from_tasks = SweepRunner(spec.tasks(), backend="serial").run()
+        assert len(from_tasks) == len(from_spec) == 2
+        for a, b in zip(from_spec.results_for(), from_tasks.results_for()):
+            np.testing.assert_array_equal(a.curve.steps, b.curve.steps)
+        with pytest.raises(ValueError):
+            SweepRunner([], backend="serial")
+        with pytest.raises(TypeError):
+            SweepRunner([object()], backend="serial")
+        # Generators must be materialized, not silently exhausted by validation.
+        from_generator = SweepRunner(iter(spec.tasks()), backend="serial").run()
+        assert len(from_generator) == 2
+
+    def test_sweep_spec_resolves_env_dimensions(self):
+        """A SweepSpec naming a non-CartPole env must size agents for it."""
+        spec = SweepSpec(designs=("OS-ELM-L2",), env_ids=("MountainCar-v0",),
+                         n_seeds=1, n_hidden=8,
+                         training=TrainingConfig(max_episodes=2,
+                                                 reward_shaping=False),
+                         root_seed=2)
+        task = spec.tasks()[0]
+        assert (task.n_states, task.n_actions) == (2, 3)
+        sweep = SweepRunner(spec, backend="serial").run()
+        assert sweep.results_for()[0].episodes == 2
+
+    def test_backend_used_recorded_per_trial(self):
+        """The vectorized backend must audit which path each trial took:
+        lockstep for the batchable designs, serial-fallback for the rest."""
+        spec = SweepSpec(designs=("OS-ELM-L2", "OS-ELM"), n_seeds=2, n_hidden=8,
+                         training=TrainingConfig(max_episodes=4), root_seed=8)
+        sweep = SweepRunner(spec, backend="vectorized").run()
+        assert len(sweep.backends_used) == len(sweep.entries) == 4
+        for (task, _), backend_used in zip(sweep.entries, sweep.backends_used):
+            expected = "lockstep" if task.design == "OS-ELM-L2" else "serial-fallback"
+            assert backend_used == expected
+            assert sweep.backend_for(task) == expected
+        assert sweep.backend_counts() == {"lockstep": 2, "serial-fallback": 2}
+        rows = {row["design"]: row for row in sweep.summary_rows()}
+        assert rows["OS-ELM-L2"]["backend_used"] == "lockstep"
+        assert rows["OS-ELM"]["backend_used"] == "serial-fallback"
+        serial = SweepRunner(spec, backend="serial").run()
+        assert set(serial.backends_used) == {"serial"}
+
     def test_aggregation_helpers(self):
         spec = SweepSpec(designs=("OS-ELM-L2",), n_seeds=3, n_hidden=8,
                          training=TrainingConfig(max_episodes=8), root_seed=21)

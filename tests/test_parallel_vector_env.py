@@ -251,3 +251,94 @@ class TestSubprocVectorEnv:
                 venv.step(np.array([0]))
         finally:
             venv.close()
+
+
+class TestSubprocStepsPerMessage:
+    """Frame-skip batching: k env steps per pipe message."""
+
+    def test_invalid_steps_per_message(self):
+        with pytest.raises(ValueError):
+            SubprocVectorEnv(_factories(1), steps_per_message=0)
+
+    def test_matches_manual_frame_skip_on_sync(self):
+        """One batched step(action) must equal k Sync steps of the repeated
+        action (stopping at episode end), with the rewards summed."""
+        k = 4
+        fns = _factories(2, base_seed=700)
+        sync_env = SyncVectorEnv(fns)
+        batched = SubprocVectorEnv(fns, steps_per_message=k)
+        try:
+            obs_sync, _ = sync_env.reset()
+            obs_sub, _ = batched.reset()
+            np.testing.assert_array_equal(obs_sync, obs_sub)
+            rng = np.random.default_rng(41)
+            for _ in range(60):
+                actions = rng.integers(0, 2, size=2)
+                result_sub = batched.step(actions)
+                # Manual frame skip on the Sync env, per sub-env.
+                expected_obs = np.empty_like(result_sub.observations)
+                expected_reward = np.zeros(2)
+                expected_frames = np.zeros(2, dtype=int)
+                done = np.zeros(2, dtype=bool)
+                for _frame in range(k):
+                    live = ~done
+                    if not live.any():
+                        break
+                    result_sync = sync_env.step(actions)
+                    expected_reward[live] += result_sync.rewards[live]
+                    expected_frames[live] += 1
+                    expected_obs[live] = result_sync.observations[live]
+                    done |= result_sync.dones
+                    # NOTE: Sync auto-resets finished sub-envs, so a done
+                    # sub-env keeps stepping its *next* episode here — the
+                    # batched env must NOT have taken those frames.  This
+                    # only stays trajectory-exact while no sub-env finishes
+                    # mid-window, so the loop below re-syncs on divergence.
+                np.testing.assert_array_equal(result_sub.rewards[~done],
+                                              expected_reward[~done])
+                np.testing.assert_array_equal(result_sub.observations[~done],
+                                              expected_obs[~done])
+                for i in range(2):
+                    assert result_sub.infos[i]["frames"] <= k
+                if done.any():
+                    break   # streams diverge once an episode ends mid-window
+        finally:
+            batched.close()
+            sync_env.close()
+
+    def test_early_stop_at_episode_end(self):
+        """With max_episode_steps=3 and k=10 the worker must stop after 3
+        frames, report frames=3 and auto-reset."""
+        venv = SubprocVectorEnv(_factories(1, max_episode_steps=3),
+                                steps_per_message=10)
+        try:
+            venv.reset(seed=11)
+            result = venv.step(np.array([1]))
+            assert result.infos[0]["frames"] == 3
+            assert result.truncated[0]
+            assert result.rewards[0] == pytest.approx(3.0)   # summed unit rewards
+            assert "final_observation" in result.infos[0]
+        finally:
+            venv.close()
+
+    def test_k1_stays_identical_to_sync(self):
+        """steps_per_message=1 must not change the protocol semantics."""
+        fns = _factories(2, base_seed=900)
+        sync_env = SyncVectorEnv(fns)
+        subproc_env = SubprocVectorEnv(fns, steps_per_message=1)
+        try:
+            obs_sync, _ = sync_env.reset()
+            obs_sub, _ = subproc_env.reset()
+            np.testing.assert_array_equal(obs_sync, obs_sub)
+            for _ in range(50):
+                actions = np.array([0, 1])
+                result_sync = sync_env.step(actions)
+                result_sub = subproc_env.step(actions)
+                np.testing.assert_array_equal(result_sync.observations,
+                                              result_sub.observations)
+                np.testing.assert_array_equal(result_sync.rewards,
+                                              result_sub.rewards)
+                assert all("frames" not in info for info in result_sub.infos)
+        finally:
+            subproc_env.close()
+            sync_env.close()
