@@ -54,6 +54,7 @@ from repro.fpga import (
 from repro.fixedpoint import Q20, QFormat
 from repro.rl import TrainingConfig, TrainingResult, evaluate_agent, train_agent
 from repro.parallel import (
+    AsyncVectorEnv,
     SubprocVectorEnv,
     SweepResult,
     SweepRunner,
@@ -61,8 +62,10 @@ from repro.parallel import (
     SyncVectorEnv,
     evaluate_agent_vectorized,
     make_vector,
+    pipelined_rollout,
     train_agents_lockstep,
 )
+from repro.distributed import SweepBroker, run_distributed_sweep, run_worker
 from repro.api import (
     ArtifactStore,
     Budget,
@@ -74,7 +77,7 @@ from repro.api import (
 )
 from repro.api import run as run_experiment
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "AgentConfig",
@@ -101,13 +104,18 @@ __all__ = [
     "TrainingResult",
     "evaluate_agent",
     "train_agent",
+    "AsyncVectorEnv",
     "SubprocVectorEnv",
+    "SweepBroker",
     "SweepResult",
     "SweepRunner",
     "SweepSpec",
     "SyncVectorEnv",
     "evaluate_agent_vectorized",
     "make_vector",
+    "pipelined_rollout",
+    "run_distributed_sweep",
+    "run_worker",
     "train_agents_lockstep",
     "ArtifactStore",
     "Budget",

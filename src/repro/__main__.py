@@ -1,4 +1,9 @@
-"""Entry point for ``python -m repro`` — see :mod:`repro.api.cli`."""
+"""Entry point for ``python -m repro`` — see :mod:`repro.api.cli`.
+
+The ``list`` / ``run`` / ``report`` subcommands drive the unified
+experiment API; ``worker`` joins a distributed sweep broker
+(``python -m repro worker --connect HOST:PORT``).
+"""
 
 from repro.api.cli import main
 

@@ -11,6 +11,10 @@ Subcommands
 ``repro report <name|spec.json> [--ci] [--out DIR] [--csv PATH]``
     Re-render a finished run purely from cached artifacts (no training;
     errors if trials are missing).
+``repro worker --connect HOST:PORT [--store DIR]``
+    Join a distributed sweep as a worker: pull tasks from the broker that
+    ``repro run --backend distributed --bind HOST:PORT`` published, train
+    them through the serial code path, and stream results back.
 
 The summary table printed by ``run``/``report`` is identical to what the
 legacy harnesses rendered, and ``--csv`` writes the same rows as CSV — the
@@ -76,17 +80,47 @@ def _finish(report: RunReport, args: argparse.Namespace) -> int:
     return 0
 
 
+def _store_root(args: argparse.Namespace) -> str:
+    """CLI runs always cache; ``--out`` falls back to the store default
+    (``$REPRO_ARTIFACTS`` when set, else ``./artifacts``)."""
+    from repro.api.store import default_store_root
+
+    return args.out if args.out is not None else str(default_store_root())
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     spec = _resolve_spec(args.experiment, "ci" if args.ci else "paper")
-    report = run(spec, backend=args.backend, out=args.out,
-                 resume=not args.no_resume, max_workers=args.max_workers)
+    workers = args.workers if args.workers is not None else args.max_workers
+    report = run(spec, backend=args.backend, out=_store_root(args),
+                 resume=not args.no_resume, max_workers=workers,
+                 bind=args.bind)
     return _finish(report, args)
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.distributed import WorkerOptions, parse_address, run_worker
+
+    host, port = parse_address(args.connect)
+    options = WorkerOptions(worker_id=args.id, store_root=args.store,
+                            max_tasks=args.max_tasks)
+    try:
+        completed = run_worker(host, port, options)
+    except OSError as error:
+        # covers ConnectionError plus the other connect-time failures
+        # (socket.gaierror for bad hostnames, TimeoutError for unroutable
+        # addresses) — a human-readable refusal, not a traceback
+        print(f"error: cannot serve broker at {args.connect}: {error}",
+              file=sys.stderr)
+        return 2
+    print(f"worker done: {completed} trials completed")
+    return 0
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
     spec = _resolve_spec(args.experiment, "ci" if args.ci else "paper")
     try:
-        report = run(spec, backend="serial", out=args.out, cache_only=True)
+        report = run(spec, backend="serial", out=_store_root(args),
+                     cache_only=True)
     except RuntimeError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -107,8 +141,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="registered name (see `repro list`) or spec JSON path")
         sub.add_argument("--ci", action="store_true",
                          help="use the minutes-scale CI variant of a registered name")
-        sub.add_argument("--out", default="artifacts",
-                         help="artifact store root (default: ./artifacts)")
+        sub.add_argument("--out", default=None,
+                         help="artifact store root (default: $REPRO_ARTIFACTS "
+                              "when set, else ./artifacts)")
         sub.add_argument("--csv", default=None, metavar="PATH",
                          help="also write the summary rows as CSV")
         sub.add_argument("--quiet", action="store_true",
@@ -123,12 +158,34 @@ def build_parser() -> argparse.ArgumentParser:
                         help="ignore cached trials and retrain everything")
     runner.add_argument("--max-workers", type=int, default=None,
                         help="pool size for the process backend")
+    runner.add_argument("--workers", type=int, default=None,
+                        help="distributed backend: local worker processes to "
+                             "auto-spawn (default: one per task, CPU-capped)")
+    runner.add_argument("--bind", default=None, metavar="HOST:PORT",
+                        help="distributed backend: accept external "
+                             "`repro worker --connect` processes here")
     runner.set_defaults(handler=_cmd_run)
 
     reporter = commands.add_parser(
         "report", help="re-render a finished run from cached artifacts only")
     add_common(reporter)
     reporter.set_defaults(handler=_cmd_report)
+
+    worker = commands.add_parser(
+        "worker", help="serve a distributed sweep broker as a worker")
+    worker.add_argument("--connect", required=True, metavar="HOST:PORT",
+                        help="broker address published by "
+                             "`repro run --backend distributed --bind ...`")
+    worker.add_argument("--store", default=None, metavar="DIR",
+                        help="local artifact store: answer repeat tasks from "
+                             "cache and checkpoint fresh results")
+    worker.add_argument("--id", default=None,
+                        help="worker id shown in broker logs (default: "
+                             "hostname-pid-uuid)")
+    worker.add_argument("--max-tasks", type=int, default=None,
+                        help="exit after completing N tasks (default: serve "
+                             "until the broker shuts the sweep down)")
+    worker.set_defaults(handler=_cmd_worker)
     return parser
 
 

@@ -102,7 +102,8 @@ class RunReport:
 def run(spec_or_name: Union[str, ExperimentSpec], *, backend: str = "auto",
         scale: str = "paper", out: Optional[str] = None,
         store: Optional[ArtifactStore] = None, resume: bool = True,
-        cache_only: bool = False, max_workers: Optional[int] = None) -> RunReport:
+        cache_only: bool = False, max_workers: Optional[int] = None,
+        bind: Optional[str] = None) -> RunReport:
     """Execute an experiment spec (or registered name) and return its report.
 
     Parameters
@@ -112,7 +113,7 @@ def run(spec_or_name: Union[str, ExperimentSpec], *, backend: str = "auto",
         (``"figure4"``, ``"table3"``, a user-registered name, ...).
     backend:
         ``"auto"`` (vectorized with serial fallback), ``"vectorized"``,
-        ``"process"`` or ``"serial"`` — forwarded to
+        ``"process"``, ``"serial"`` or ``"distributed"`` — forwarded to
         :class:`~repro.parallel.sweep.SweepRunner`.  Every backend produces
         identical results; the choice is purely about throughput.
     scale:
@@ -130,7 +131,11 @@ def run(spec_or_name: Union[str, ExperimentSpec], *, backend: str = "auto",
         Do not train at all: every trial must already be in the store
         (raises ``RuntimeError`` otherwise).  This is ``repro report``.
     max_workers:
-        Pool size for the process backend.
+        Pool size for the process backend, or the local worker count for
+        the distributed backend.
+    bind:
+        Distributed backend only: ``"HOST:PORT"`` on which the broker
+        accepts external ``repro worker --connect`` processes.
     """
     if backend not in BACKENDS:
         raise ValueError(f"unknown backend {backend!r}; choose from {BACKENDS}")
@@ -168,11 +173,17 @@ def run(spec_or_name: Union[str, ExperimentSpec], *, backend: str = "auto",
     if misses:
         _LOGGER.info("run started", spec=spec.name, backend=backend,
                      trials=len(tasks), cached=len(tasks) - len(misses))
-        sweep = SweepRunner(misses, backend=backend, max_workers=max_workers).run()
+        # Trials are checkpointed the moment they finish, not when the sweep
+        # returns, so an interrupted paper-scale run resumes mid-grid.  The
+        # distributed backend checkpoints through its broker; every other
+        # backend streams completions through the runner callback.
+        runner_store = store if backend == "distributed" else None
+        checkpoint = (None if store is None or runner_store is not None
+                      else _trial_checkpointer(store, backend))
+        sweep = SweepRunner(misses, backend=backend, max_workers=max_workers,
+                            store=runner_store, bind=bind).run(checkpoint)
         for (task, result), backend_used in zip(sweep.entries, sweep.backends_used):
             records[task.key()] = TrialRecord(task, result, backend_used)
-            if store is not None:
-                store.save_trial(task, result, backend_used=backend_used)
 
     report = RunReport(
         spec=spec,
@@ -181,7 +192,9 @@ def run(spec_or_name: Union[str, ExperimentSpec], *, backend: str = "auto",
         wall_time_seconds=time.perf_counter() - start,
         store_root=str(store.root) if store is not None else None,
     )
-    if store is not None:
+    if store is not None and not cache_only:
+        # cache_only is `repro report` — a read, which must not overwrite the
+        # run record's provenance (the backend that actually produced it).
         store.save_run(spec, [trial_key(task) for task in tasks],
                        backend=backend,
                        backends_used=[r.backend_used for r in report.trials])
@@ -189,6 +202,29 @@ def run(spec_or_name: Union[str, ExperimentSpec], *, backend: str = "auto",
                  seconds=round(report.wall_time_seconds, 2),
                  cached=report.cached_count, executed=report.executed_count)
     return report
+
+
+def _trial_checkpointer(store: ArtifactStore, backend: str):
+    """A ``SweepRunner`` callback persisting each trial as it completes.
+
+    The callback contract carries no ``backend_used``, so the execution path
+    is recomputed here with the sweep's own routing rule — ``auto`` resolves
+    to vectorized, whose lock-step groups take ``"lockstep"`` and whose
+    non-batchable designs fall back to ``"serial-fallback"``.
+    """
+    from repro.parallel.sweep import _design_supports_lockstep
+
+    effective = "vectorized" if backend == "auto" else backend
+
+    def checkpoint(task: SweepTask, result: TrainingResult) -> None:
+        if effective in ("serial", "process"):
+            backend_used = effective
+        else:
+            backend_used = ("lockstep" if _design_supports_lockstep(task.design)
+                            else "serial-fallback")
+        store.save_trial(task, result, backend_used=backend_used)
+
+    return checkpoint
 
 
 def _run_resource_table(spec: ExperimentSpec, backend: str,

@@ -103,7 +103,15 @@ class ArtifactStore:
 
     def save_trial(self, task: SweepTask, result: TrainingResult, *,
                    backend_used: str) -> str:
-        """Persist one finished trial; returns its key."""
+        """Persist one finished trial; returns its key.
+
+        Writes are atomic (temp file + rename, curve before descriptor), so
+        a process killed mid-save — a downed distributed worker, a Ctrl-C'd
+        sweep — can leave at most a stray temp file, never a half-written
+        artifact that :meth:`load_trial` could misread.  Concurrent savers
+        of the same trial (broker thread + store-equipped worker) are safe:
+        both write identical content and the renames serialize.
+        """
         key = trial_key(task)
         directory = self.trial_dir(key)
         record = {
@@ -122,10 +130,10 @@ class ArtifactStore:
                 "breakdown_counts": dict(result.breakdown.counts),
             },
         }
-        save_json(directory / "trial.json", record)
         curve = result.curve
         nan_or = lambda value: np.nan if value is None else float(value)  # noqa: E731
-        save_arrays(directory / "curve.npz", {
+        tmp_tag = f".{os.getpid()}.tmp"
+        tmp_curve = save_arrays(directory / f"curve{tmp_tag}.npz", {
             "episode": np.array([r.episode for r in curve.records], dtype=np.int64),
             "steps": np.array([r.steps for r in curve.records], dtype=np.int64),
             "shaped_return": np.array([r.shaped_return for r in curve.records]),
@@ -134,6 +142,11 @@ class ArtifactStore:
                                          for r in curve.records]),
             "beta_norm": np.array([nan_or(r.beta_norm) for r in curve.records]),
         })
+        tmp_record = save_json(directory / f"trial{tmp_tag}.json", record)
+        # Curve first: load_trial reads trial.json as the commit marker, so
+        # the descriptor must never be visible before its arrays are.
+        os.replace(tmp_curve, directory / "curve.npz")
+        os.replace(tmp_record, directory / "trial.json")
         return key
 
     def load_trial(self, task: SweepTask) -> Optional[Tuple[TrainingResult, str]]:

@@ -1,0 +1,341 @@
+"""The sweep broker: a TCP work queue serving ``SweepTask``s to workers.
+
+``SweepBroker`` owns the full task grid of one sweep and hands tasks out to
+any number of connected workers (local processes auto-spawned by the
+coordinator, or remote ``python -m repro worker --connect`` loops).  Its
+job is to make the fleet *safe to lose*:
+
+* **Leases, not handoffs** — a task given to a worker stays on the books
+  with a deadline.  Heartbeats (and any other frame from that worker)
+  extend the deadline; a worker that dies mid-trial (connection drop) or
+  silently hangs (deadline expiry) gets its leased tasks requeued for the
+  next ``GET``, so a killed worker costs wall time, never results.
+* **Exactly-once results** — the first ``RESULT`` frame for a task index
+  wins; late duplicates (a requeued task finishing twice, a retrying
+  worker) are acknowledged but dropped, and counted in
+  :attr:`SweepBroker.duplicate_results` so tests can assert the dedup
+  actually happened.
+* **Per-trial checkpointing** — with an :class:`~repro.api.store.ArtifactStore`
+  attached, every result is persisted the moment it arrives, not when the
+  sweep ends.  An interrupted paper-scale sweep therefore resumes from its
+  last completed trial on the next run (the engine's cache pass skips
+  stored trials before they ever reach the broker).
+
+Determinism: the broker never reorders computation — each task is executed
+by exactly one ``train_agent`` call inside some worker, identical to the
+serial backend's loop — so distributed results replay serial results
+bit-for-bit on fixed seeds regardless of which worker ran what, in what
+order, or how many times a lease bounced.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from collections import deque
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.distributed import protocol
+from repro.parallel.sweep import SweepTask
+from repro.rl.recording import TrainingResult
+from repro.utils.logging import get_logger
+
+_LOGGER = get_logger("repro.distributed.broker")
+
+#: Seconds a worker is told to sleep when every remaining task is leased out.
+WAIT_HINT_SECONDS = 0.05
+
+
+class _Lease:
+    """One task currently out with a worker.
+
+    ``owner`` is the identity of the holding connection (its ``held`` set),
+    so that after an expired lease is re-issued to another worker, frames
+    from the original holder — a late result, a disconnect — can be told
+    apart from the current holder's and never touch the live lease.
+    """
+
+    __slots__ = ("index", "worker_id", "deadline", "owner")
+
+    def __init__(self, index: int, worker_id: str, deadline: float,
+                 owner: Set[int]) -> None:
+        self.index = index
+        self.worker_id = worker_id
+        self.deadline = deadline
+        self.owner = owner
+
+
+class SweepBroker:
+    """Serve one sweep's tasks over TCP and collect the results.
+
+    Parameters
+    ----------
+    tasks:
+        The sweep grid, in result order.  An empty grid is legal: the broker
+        is born finished and :meth:`join` returns immediately.
+    host, port:
+        Bind address.  The default binds loopback on an ephemeral port (the
+        bound port is available as :attr:`address` after :meth:`start`);
+        bind a routable interface only on networks you trust — the wire
+        format is pickle (see :mod:`repro.distributed.protocol`).
+    store:
+        Optional artifact store; results are checkpointed into it as they
+        arrive (see the module docstring).
+    heartbeat_timeout:
+        Seconds without any frame from a worker before its leases are
+        requeued.  Workers heartbeat at a fraction of this (the coordinator
+        configures both ends consistently).
+    callback:
+        ``callback(task, result)`` streamed as each *fresh* result lands,
+        mirroring :meth:`SweepRunner.run`'s callback contract.
+    """
+
+    def __init__(self, tasks: Sequence[SweepTask], *, host: str = "127.0.0.1",
+                 port: int = 0, store: Optional[object] = None,
+                 heartbeat_timeout: float = 30.0,
+                 callback: Optional[Callable[[SweepTask, TrainingResult], None]] = None
+                 ) -> None:
+        if heartbeat_timeout <= 0:
+            raise ValueError("heartbeat_timeout must be positive")
+        self.tasks: List[SweepTask] = list(tasks)
+        self.store = store
+        self.heartbeat_timeout = float(heartbeat_timeout)
+        self.callback = callback
+        self._bind_host = host
+        self._bind_port = port
+
+        self._lock = threading.Lock()
+        self._pending: deque = deque(range(len(self.tasks)))
+        self._leases: Dict[int, _Lease] = {}
+        self._results: Dict[int, Tuple[TrainingResult, str]] = {}
+        self._all_done = threading.Event()
+        if not self.tasks:
+            self._all_done.set()
+
+        #: Observability counters (read under no lock; monotonic, test-facing).
+        self.duplicate_results = 0
+        self.requeued_tasks = 0
+        self.workers_seen: Set[str] = set()
+        #: Currently connected worker connections (registered or not) — lets
+        #: the coordinator distinguish "fleet crashed" from "externals serving".
+        self.active_connections = 0
+
+        self._server: Optional[socket.socket] = None
+        self._threads: List[threading.Thread] = []
+        self._closing = threading.Event()
+
+    # ------------------------------------------------------------------ lifecycle
+    def start(self) -> "SweepBroker":
+        """Bind, listen and start the accept + lease-monitor threads."""
+        if self._server is not None:
+            raise RuntimeError("broker already started")
+        server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        server.bind((self._bind_host, self._bind_port))
+        server.listen()
+        server.settimeout(0.2)
+        self._server = server
+        for target, name in ((self._accept_loop, "broker-accept"),
+                             (self._monitor_loop, "broker-monitor")):
+            thread = threading.Thread(target=target, name=name, daemon=True)
+            thread.start()
+            self._threads.append(thread)
+        _LOGGER.info("broker listening", address="%s:%d" % self.address,
+                     tasks=len(self.tasks))
+        return self
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` (valid after :meth:`start`)."""
+        if self._server is None:
+            raise RuntimeError("broker not started")
+        return self._server.getsockname()[:2]
+
+    @property
+    def completed_count(self) -> int:
+        with self._lock:
+            return len(self._results)
+
+    def join(self, timeout: Optional[float] = None) -> bool:
+        """Block until every task has a result; True if that happened."""
+        return self._all_done.wait(timeout)
+
+    def results(self) -> List[Tuple[TrainingResult, str]]:
+        """The collected ``(result, backend_used)`` pairs in task order."""
+        with self._lock:
+            missing = len(self.tasks) - len(self._results)
+            if missing:
+                raise RuntimeError(f"sweep incomplete: {missing} of "
+                                   f"{len(self.tasks)} tasks have no result")
+            return [self._results[index] for index in range(len(self.tasks))]
+
+    def close(self) -> None:
+        """Stop accepting, drop connections, release the port (idempotent)."""
+        self._closing.set()
+        if self._server is not None:
+            try:
+                self._server.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+        for thread in self._threads:
+            thread.join(timeout=2.0)
+
+    def __enter__(self) -> "SweepBroker":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ threads
+    def _accept_loop(self) -> None:
+        while not self._closing.is_set():
+            try:
+                connection, _ = self._server.accept()
+            except socket.timeout:
+                continue
+            except OSError:  # socket closed under us
+                return
+            thread = threading.Thread(target=self._serve_worker,
+                                      args=(connection,), daemon=True,
+                                      name="broker-conn")
+            thread.start()
+            self._threads.append(thread)
+
+    def _monitor_loop(self) -> None:
+        """Requeue tasks whose lease deadline passed (hung/silent workers)."""
+        interval = min(0.2, self.heartbeat_timeout / 4.0)
+        while not self._closing.is_set():
+            now = time.monotonic()
+            with self._lock:
+                expired = [lease for lease in self._leases.values()
+                           if lease.deadline <= now]
+                for lease in expired:
+                    del self._leases[lease.index]
+                    lease.owner.discard(lease.index)   # holder forfeits it
+                    self._pending.append(lease.index)
+                    self.requeued_tasks += 1
+            for lease in expired:
+                _LOGGER.warning("lease expired; task requeued",
+                                task=lease.index, worker=lease.worker_id)
+            self._closing.wait(interval)
+
+    # ------------------------------------------------------------------ protocol
+    def _serve_worker(self, connection: socket.socket) -> None:
+        """Per-connection loop: answer GET/RESULT, absorb heartbeats."""
+        worker_id = "<unregistered>"
+        held: Set[int] = set()          # leases owned by this connection
+        with self._lock:
+            self.active_connections += 1
+        try:
+            with connection:
+                while not self._closing.is_set():
+                    try:
+                        kind, payload = protocol.recv_message(connection)
+                    except (ConnectionError, OSError):
+                        break
+                    if kind == protocol.HELLO:
+                        worker_id = str(payload)
+                        self.workers_seen.add(worker_id)
+                        protocol.send_message(connection, protocol.WELCOME,
+                                              {"tasks": len(self.tasks)})
+                    elif kind == protocol.HEARTBEAT:
+                        self._extend_leases(held)
+                    elif kind == protocol.GET:
+                        self._handle_get(connection, worker_id, held)
+                    elif kind == protocol.RESULT:
+                        self._handle_result(connection, payload, held)
+                    else:
+                        raise protocol.ProtocolError(
+                            f"unexpected frame {kind!r} from worker")
+        finally:
+            with self._lock:
+                self.active_connections -= 1
+            self._requeue_held(held, worker_id)
+
+    def _handle_get(self, connection: socket.socket, worker_id: str,
+                    held: Set[int]) -> None:
+        with self._lock:
+            if len(self._results) == len(self.tasks):
+                reply = (protocol.SHUTDOWN, None)
+            elif self._pending:
+                index = self._pending.popleft()
+                deadline = time.monotonic() + self.heartbeat_timeout
+                self._leases[index] = _Lease(index, worker_id, deadline, held)
+                held.add(index)
+                reply = (protocol.TASK, (index, self.tasks[index]))
+            else:
+                reply = (protocol.WAIT, WAIT_HINT_SECONDS)
+        protocol.send_message(connection, *reply)
+
+    def _handle_result(self, connection: socket.socket, payload, held: Set[int]) -> None:
+        index, result, backend_used = payload
+        fresh = False
+        task: Optional[SweepTask] = None
+        with self._lock:
+            if not (0 <= index < len(self.tasks)):
+                raise protocol.ProtocolError(f"result for unknown task {index}")
+            lease = self._leases.get(index)
+            if lease is not None and lease.owner is held:
+                del self._leases[index]       # never someone else's re-issued lease
+            held.discard(index)
+            if index in self._results:
+                self.duplicate_results += 1
+            else:
+                fresh = True
+                self._results[index] = (result, backend_used)
+                task = self.tasks[index]
+                # The lease may have expired and bounced the index back onto
+                # the queue before this (still valid) result arrived; drop
+                # the requeued copy so nobody retrains a finished trial.
+                try:
+                    self._pending.remove(index)
+                except ValueError:
+                    pass
+                if len(self._results) == len(self.tasks):
+                    self._all_done.set()
+            self._extend_leases_locked(held)
+        if fresh:
+            if self.store is not None:
+                self.store.save_trial(task, result, backend_used=backend_used)
+            if self.callback is not None:
+                self.callback(task, result)
+            _LOGGER.info("trial complete", task=index,
+                         done=f"{self.completed_count}/{len(self.tasks)}")
+        protocol.send_message(connection, protocol.ACK, fresh)
+
+    # ------------------------------------------------------------------ leases
+    def _extend_leases(self, held: Set[int]) -> None:
+        with self._lock:
+            self._extend_leases_locked(held)
+
+    def _extend_leases_locked(self, held: Set[int]) -> None:
+        deadline = time.monotonic() + self.heartbeat_timeout
+        for index in held:
+            lease = self._leases.get(index)
+            if lease is not None and lease.owner is held:
+                lease.deadline = deadline
+
+    def _requeue_held(self, held: Set[int], worker_id: str) -> None:
+        """Connection gone: put its unfinished leases back on the queue.
+
+        Only leases this connection still *owns* are requeued — an index
+        whose lease expired and was re-issued to another worker must not be
+        yanked from under the new holder, and a completed index must not be
+        retrained.
+        """
+        with self._lock:
+            requeued = []
+            for index in held:
+                lease = self._leases.get(index)
+                if lease is not None and lease.owner is held:
+                    del self._leases[index]
+                    self._pending.append(index)
+                    self.requeued_tasks += 1
+                    requeued.append(index)
+        for index in requeued:
+            _LOGGER.warning("worker disconnected; task requeued",
+                            task=index, worker=worker_id)
+
+
+__all__ = ["SweepBroker", "WAIT_HINT_SECONDS"]

@@ -1,0 +1,155 @@
+"""Front door of the distributed backend: broker + local worker fleet.
+
+:func:`run_distributed_sweep` is what ``SweepRunner(backend="distributed")``
+calls.  It starts a :class:`~repro.distributed.broker.SweepBroker` in the
+calling process, optionally auto-spawns ``n_workers`` local worker
+processes pointed at it (the ``repro run --backend distributed --workers N``
+path — no address juggling needed for single-host use), waits for the grid
+to drain, and returns results in task order.  Passing ``bind="HOST:PORT"``
+instead publishes the broker on a routable interface for external
+``python -m repro worker --connect`` fleets; both kinds of worker can serve
+the same broker at once.
+
+Fault behaviour: a worker that dies mid-trial is detected by its dropped
+connection (or lease timeout for hangs) and its tasks are requeued — the
+sweep converges as long as at least one worker remains.  If *every*
+auto-spawned worker is dead and no external worker is connected, the
+coordinator raises instead of waiting forever.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.distributed.broker import SweepBroker
+from repro.distributed.protocol import parse_address
+from repro.distributed.worker import WorkerOptions, run_worker
+from repro.parallel.pool import default_max_workers
+from repro.parallel.sweep import SweepTask
+from repro.rl.recording import TrainingResult
+from repro.utils.logging import get_logger
+
+_LOGGER = get_logger("repro.distributed.coordinator")
+
+#: Default broker-side lease timeout for locally spawned fleets.  Local
+#: workers heartbeat every ``WorkerOptions.heartbeat_interval`` (2 s), so
+#: this tolerates several missed beats before declaring a worker dead.
+DEFAULT_HEARTBEAT_TIMEOUT = 30.0
+
+
+def _local_worker_main(host: str, port: int, worker_id: str,
+                       heartbeat_interval: float) -> None:
+    """Module-level target so worker processes start under fork *and* spawn."""
+    run_worker(host, port, WorkerOptions(worker_id=worker_id,
+                                         heartbeat_interval=heartbeat_interval))
+
+
+def spawn_local_workers(host: str, port: int, n_workers: int, *,
+                        heartbeat_interval: float = 2.0,
+                        context: str = "spawn") -> List[mp.Process]:
+    """Start ``n_workers`` daemon worker processes against one broker.
+
+    The default start method is ``spawn``, not the platform default: the
+    broker's accept/monitor threads are already running when the fleet
+    starts, and forking a multi-threaded process can deadlock the child on
+    locks held mid-fork (Python 3.12+ warns about exactly this).  The
+    worker target is module-level and its arguments picklable, so spawn
+    costs only interpreter start-up.
+    """
+    ctx = mp.get_context(context)
+    processes = []
+    for i in range(n_workers):
+        process = ctx.Process(
+            target=_local_worker_main,
+            args=(host, port, f"local-{i}", heartbeat_interval),
+            daemon=True, name=f"repro-worker-{i}")
+        process.start()
+        processes.append(process)
+    return processes
+
+
+def run_distributed_sweep(
+        tasks: Sequence[SweepTask], *,
+        n_workers: Optional[int] = None,
+        bind: Optional[str] = None,
+        store=None,
+        callback: Optional[Callable[[SweepTask, TrainingResult], None]] = None,
+        heartbeat_timeout: float = DEFAULT_HEARTBEAT_TIMEOUT,
+        timeout: Optional[float] = None,
+) -> List[Tuple[TrainingResult, str]]:
+    """Execute ``tasks`` on a worker fleet; ``(result, backend_used)`` per task.
+
+    Parameters
+    ----------
+    tasks:
+        The sweep grid; results come back in this order.  An empty grid
+        returns ``[]`` without binding a socket or spawning anything.
+    n_workers:
+        Local worker processes to auto-spawn.  ``None`` picks one per task
+        capped by the CPU count — except when ``bind`` is given, where it
+        defaults to 0 (external workers are expected to connect).
+    bind:
+        ``"HOST:PORT"`` to listen for external ``repro worker`` processes;
+        default is loopback on an ephemeral port (auto-spawned fleet only).
+    store:
+        Artifact store handed to the broker for per-trial checkpointing.
+    heartbeat_timeout:
+        Broker-side lease timeout (see :class:`SweepBroker`).
+    timeout:
+        Overall wall-clock bound; ``TimeoutError`` when exceeded.
+    """
+    tasks = list(tasks)
+    if not tasks:
+        return []
+    if bind is not None:
+        host, port = parse_address(bind)
+        if n_workers is None:
+            n_workers = 0
+    else:
+        host, port = "127.0.0.1", 0
+        if n_workers is None:
+            n_workers = default_max_workers(len(tasks))
+        if n_workers <= 0:
+            raise ValueError("n_workers must be positive when no bind address "
+                             "is given (nobody could ever serve the queue)")
+
+    broker = SweepBroker(tasks, host=host, port=port, store=store,
+                         heartbeat_timeout=heartbeat_timeout, callback=callback)
+    broker.start()
+    bound_host, bound_port = broker.address
+    workers = spawn_local_workers(bound_host, bound_port, n_workers)
+    if bind is not None:
+        _LOGGER.info("broker accepting external workers",
+                     address=f"{bound_host}:{bound_port}",
+                     local_workers=n_workers)
+    deadline = None if timeout is None else time.monotonic() + timeout
+    try:
+        while not broker.join(timeout=0.2):
+            if deadline is not None and time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"distributed sweep incomplete after {timeout}s "
+                    f"({broker.completed_count}/{len(tasks)} trials)")
+            if (workers and not any(w.is_alive() for w in workers)
+                    and broker.active_connections == 0):
+                # The auto-spawned fleet is gone and nothing external is
+                # connected either — with a bind address a live external
+                # worker keeps the sweep waiting, a fully dead fleet never.
+                raise RuntimeError(
+                    "every local worker exited before the sweep finished "
+                    f"({broker.completed_count}/{len(tasks)} trials done) "
+                    "and no external worker is connected; see worker stderr "
+                    "for the crash")
+        return broker.results()
+    finally:
+        broker.close()
+        for worker in workers:
+            worker.join(timeout=2.0)
+            if worker.is_alive():   # pragma: no cover - stuck worker
+                worker.terminate()
+                worker.join(timeout=1.0)
+
+
+__all__ = ["DEFAULT_HEARTBEAT_TIMEOUT", "run_distributed_sweep",
+           "spawn_local_workers"]

@@ -1,0 +1,113 @@
+"""Wire protocol of the distributed sweep backend: framed pickle messages.
+
+The broker and its workers exchange Python objects over a TCP stream as
+length-prefixed pickle frames — an 8-byte big-endian payload size followed
+by the pickled message.  Every message is a ``(kind, payload)`` tuple with
+``kind`` one of the module constants below; keeping the frame format this
+small means the protocol needs no third-party dependency and any object the
+sweep already pickles for the process backend (``SweepTask``,
+``TrainingResult``) travels unchanged.
+
+Message flow
+------------
+The conversation is strictly client-driven: the broker only ever writes in
+*response* to a worker frame, so the worker can interleave unsolicited
+``HEARTBEAT`` frames (which get no reply) from a background thread without
+desynchronizing the request/response pairing.
+
+===================  =======================  ================================
+worker sends          broker replies           meaning
+===================  =======================  ================================
+``(HELLO, worker_id)``  ``(WELCOME, info)``     registration; ``info`` carries
+                                                the sweep size
+``(GET, None)``         ``(TASK, (idx, task))``  a leased task to execute
+..                      ``(WAIT, seconds)``      nothing free right now — every
+                                                 remaining task is leased to
+                                                 another worker; poll again
+..                      ``(SHUTDOWN, None)``     all tasks complete, disconnect
+``(RESULT, (idx, result, backend))``  ``(ACK, fresh)``  result received;
+                                                 ``fresh`` is False for a
+                                                 duplicate delivery
+``(HEARTBEAT, None)``   *(no reply)*             lease keep-alive mid-trial
+===================  =======================  ================================
+
+Security note: frames are pickles, so the broker must only be bound to
+interfaces you trust (the default is loopback).  This mirrors the stdlib
+``multiprocessing`` connection model the in-process backends already rely
+on.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+from typing import Any, Tuple
+
+#: Message kinds (worker -> broker unless noted).
+HELLO = "hello"
+GET = "get"
+RESULT = "result"
+HEARTBEAT = "heartbeat"
+#: Broker -> worker kinds.
+WELCOME = "welcome"
+TASK = "task"
+WAIT = "wait"
+SHUTDOWN = "shutdown"
+ACK = "ack"
+
+_HEADER = struct.Struct(">Q")
+
+#: Upper bound on a single frame (1 GiB) — a corrupted or malicious header
+#: fails fast instead of attempting a giant allocation.
+MAX_FRAME_BYTES = 1 << 30
+
+
+class ProtocolError(ConnectionError):
+    """A malformed frame or a violation of the request/response contract."""
+
+
+def send_message(sock: socket.socket, kind: str, payload: Any = None) -> None:
+    """Write one framed ``(kind, payload)`` message to the socket."""
+    body = pickle.dumps((kind, payload), protocol=pickle.HIGHEST_PROTOCOL)
+    sock.sendall(_HEADER.pack(len(body)) + body)
+
+
+def recv_message(sock: socket.socket) -> Tuple[str, Any]:
+    """Read one framed message; raises ``ConnectionError`` on EOF/corruption."""
+    header = _recv_exact(sock, _HEADER.size)
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {length} bytes exceeds MAX_FRAME_BYTES")
+    message = pickle.loads(_recv_exact(sock, length))
+    if not (isinstance(message, tuple) and len(message) == 2
+            and isinstance(message[0], str)):
+        raise ProtocolError(f"malformed message: {type(message).__name__}")
+    return message
+
+
+def _recv_exact(sock: socket.socket, n_bytes: int) -> bytes:
+    chunks = []
+    remaining = n_bytes
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            raise ConnectionError("peer closed the connection mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def parse_address(address: str) -> Tuple[str, int]:
+    """Parse ``"host:port"`` (the CLI's ``--connect``/``--bind`` format)."""
+    host, sep, port = address.rpartition(":")
+    if not sep or not host:
+        raise ValueError(f"address must look like HOST:PORT, got {address!r}")
+    return host, int(port)
+
+
+__all__ = [
+    "ACK", "GET", "HEARTBEAT", "HELLO", "MAX_FRAME_BYTES", "ProtocolError",
+    "RESULT", "SHUTDOWN", "TASK", "WAIT", "WELCOME",
+    "parse_address", "recv_message", "send_message",
+]

@@ -1,0 +1,165 @@
+"""The worker side of the distributed sweep backend.
+
+``run_worker`` is what ``python -m repro worker --connect HOST:PORT``
+executes: connect to a :class:`~repro.distributed.broker.SweepBroker`, pull
+:class:`~repro.parallel.sweep.SweepTask`s one at a time, run each through
+the *exact* serial trainer code path
+(:func:`repro.parallel.sweep._run_sweep_task` -> ``train_agent``), and
+stream the :class:`~repro.rl.recording.TrainingResult` back.  Because the
+computation per task is identical to the serial backend, a distributed
+sweep replays a serial sweep bit-for-bit on fixed seeds — the worker adds
+transport, never arithmetic.
+
+While a trial is training, a daemon thread sends ``HEARTBEAT`` frames so
+the broker keeps the lease alive through arbitrarily long trials; if this
+process dies instead, the dropped connection (or, for a hang, the lease
+timeout) makes the broker requeue the task for another worker.
+
+Workers may attach their own :class:`~repro.api.store.ArtifactStore`
+(``repro worker --store DIR``).  A store-equipped worker answers tasks it
+has already trained from cache and checkpoints fresh results locally, so a
+worker fleet sharing a filesystem converges even across broker restarts.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import time
+import uuid
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.distributed import protocol
+from repro.parallel.sweep import SweepTask, _run_sweep_task
+from repro.rl.recording import TrainingResult
+from repro.utils.logging import get_logger
+
+_LOGGER = get_logger("repro.distributed.worker")
+
+#: ``backend_used`` recorded for trials executed by the worker fleet.
+DISTRIBUTED_BACKEND = "distributed"
+
+
+@dataclass(frozen=True)
+class WorkerOptions:
+    """Knobs of one worker loop (all optional; defaults suit the CLI)."""
+
+    worker_id: Optional[str] = None      #: default: ``<hostname>-<pid>-<uuid4[:8]>``
+    store_root: Optional[str] = None     #: local artifact cache (resume + checkpoint)
+    heartbeat_interval: float = 2.0      #: seconds between keep-alive frames mid-trial
+    max_tasks: Optional[int] = None      #: stop after N trials (tests/failure injection)
+    connect_timeout: float = 10.0        #: seconds to wait for the broker socket
+
+
+def default_worker_id() -> str:
+    return f"{socket.gethostname()}-{os.getpid()}-{uuid.uuid4().hex[:8]}"
+
+
+def execute_task(task: SweepTask, store=None) -> Tuple[TrainingResult, bool]:
+    """Run one task through the serial trainer; ``(result, was_cached)``.
+
+    With a store attached the trial is answered from cache when present and
+    checkpointed into the store when freshly trained.
+    """
+    if store is not None:
+        cached = store.load_trial(task)
+        if cached is not None:
+            return cached[0], True
+    result = _run_sweep_task(task)
+    if store is not None:
+        store.save_trial(task, result, backend_used=DISTRIBUTED_BACKEND)
+    return result, False
+
+
+def run_worker(host: str, port: int,
+               options: WorkerOptions = WorkerOptions()) -> int:
+    """Serve one broker until it says ``SHUTDOWN``; returns tasks completed."""
+    from repro.api.store import ArtifactStore   # deferred: avoids an import cycle
+
+    worker_id = options.worker_id or default_worker_id()
+    store = (ArtifactStore(options.store_root)
+             if options.store_root is not None else None)
+    sock = socket.create_connection((host, port), timeout=options.connect_timeout)
+    # Trials can take arbitrarily long between frames on the *read* side too
+    # (the broker only answers when asked); clear the connect timeout.
+    sock.settimeout(None)
+    send_lock = threading.Lock()
+
+    def send(kind: str, payload=None) -> None:
+        with send_lock:
+            protocol.send_message(sock, kind, payload)
+
+    completed = 0
+    try:
+        send(protocol.HELLO, worker_id)
+        kind, info = protocol.recv_message(sock)
+        if kind != protocol.WELCOME:
+            raise protocol.ProtocolError(f"expected WELCOME, got {kind!r}")
+        _LOGGER.info("worker registered", worker=worker_id,
+                     tasks=info.get("tasks"))
+        while options.max_tasks is None or completed < options.max_tasks:
+            try:
+                send(protocol.GET)
+                kind, payload = protocol.recv_message(sock)
+            except (ConnectionError, OSError):
+                # The broker is gone — sweep finished (it tears the port
+                # down as soon as the grid drains) or it died; either way
+                # the worker's job here is over.
+                _LOGGER.info("broker connection closed", worker=worker_id)
+                break
+            if kind == protocol.SHUTDOWN:
+                break
+            if kind == protocol.WAIT:
+                time.sleep(float(payload))
+                continue
+            if kind != protocol.TASK:
+                raise protocol.ProtocolError(f"expected TASK/WAIT/SHUTDOWN, "
+                                             f"got {kind!r}")
+            index, task = payload
+            result, was_cached = _execute_with_heartbeat(
+                task, store, send, options.heartbeat_interval)
+            try:
+                send(protocol.RESULT, (index, result, DISTRIBUTED_BACKEND))
+                kind, fresh = protocol.recv_message(sock)
+            except (ConnectionError, OSError):
+                # Result may or may not have landed; the broker requeues the
+                # lease if it didn't, and dedups the delivery if it did.
+                _LOGGER.warning("broker lost mid-result", worker=worker_id,
+                                task=index)
+                break
+            if kind != protocol.ACK:
+                raise protocol.ProtocolError(f"expected ACK, got {kind!r}")
+            completed += 1
+            _LOGGER.info("task done", worker=worker_id, task=index,
+                         cached=was_cached, accepted=fresh)
+    finally:
+        sock.close()
+    _LOGGER.info("worker exiting", worker=worker_id, completed=completed)
+    return completed
+
+
+def _execute_with_heartbeat(task: SweepTask, store, send,
+                            interval: float) -> Tuple[TrainingResult, bool]:
+    """Train one task while a daemon thread keeps the broker lease alive."""
+    stop = threading.Event()
+
+    def beat() -> None:
+        while not stop.wait(interval):
+            try:
+                send(protocol.HEARTBEAT)
+            except OSError:       # broker went away; the main loop will notice
+                return
+
+    thread = threading.Thread(target=beat, name="worker-heartbeat", daemon=True)
+    thread.start()
+    try:
+        return execute_task(task, store)
+    finally:
+        stop.set()
+        thread.join(timeout=1.0)
+
+
+__all__ = ["DISTRIBUTED_BACKEND", "WorkerOptions", "default_worker_id",
+           "execute_task", "run_worker"]

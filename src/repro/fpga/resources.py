@@ -25,7 +25,6 @@ import numpy as np
 
 from repro.fixedpoint.qformat import Q20, QFormat
 from repro.fpga.device import FPGADevice, ResourceVector, XC7Z020
-from repro.utils.exceptions import ResourceExhaustedError
 
 #: Bits per 36-Kbit block RAM.
 BRAM36_BITS = 36 * 1024

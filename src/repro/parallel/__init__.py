@@ -3,19 +3,22 @@
 The subsystem has three layers (see the README for the architecture sketch
 and determinism guarantees):
 
-* **Vector envs** — :class:`SyncVectorEnv` / :class:`SubprocVectorEnv`
-  step N registry environments behind one stacked ``reset()``/``step()``
-  interface with auto-reset; :func:`make_vector` builds either from a
-  registered id with ``spawn_seeds``-derived per-env seeds.
+* **Vector envs** — :class:`SyncVectorEnv` / :class:`SubprocVectorEnv` /
+  :class:`AsyncVectorEnv` step N registry environments behind one stacked
+  ``reset()``/``step()`` interface with auto-reset (``Async`` adds the
+  ``step_async``/``step_wait`` split that overlaps env stepping with agent
+  compute); :func:`make_vector` builds any of them from a registered id
+  with ``spawn_seeds``-derived per-env seeds.
 * **Lock-step training** — :func:`train_agents_lockstep` advances N
   independent ELM-family trials with batched agent math over a vector env
   (the single-core throughput path).
 * **Sweep orchestration** — :class:`SweepRunner` fans a
   (design x env x seed) :class:`SweepSpec` grid across the vectorized,
-  process-pool or serial backend and aggregates the streamed results into
-  a :class:`SweepResult`.
+  process-pool, serial or distributed (:mod:`repro.distributed`) backend
+  and aggregates the streamed results into a :class:`SweepResult`.
 """
 
+from repro.parallel.async_env import AsyncVectorEnv, pipelined_rollout
 from repro.parallel.lockstep import supports_lockstep, train_agents_lockstep
 from repro.parallel.pool import parallel_map
 from repro.parallel.rollout import evaluate_agent_vectorized
@@ -30,6 +33,7 @@ from repro.parallel.vector_env import (
 )
 
 __all__ = [
+    "AsyncVectorEnv",
     "EnvFactory",
     "SubprocVectorEnv",
     "SweepResult",
@@ -42,6 +46,7 @@ __all__ = [
     "evaluate_agent_vectorized",
     "make_vector",
     "parallel_map",
+    "pipelined_rollout",
     "supports_lockstep",
     "train_agents_lockstep",
 ]

@@ -1,0 +1,163 @@
+"""Asynchronous vector env: overlap subprocess stepping with agent compute.
+
+:class:`SubprocVectorEnv.step` is synchronous — the parent blocks on the
+worker pipes while the sub-envs integrate, then the workers idle while the
+parent runs agent math.  :class:`AsyncVectorEnv` splits that round-trip
+into :meth:`step_async` (ship the actions, return immediately) and
+:meth:`step_wait` (collect the results), so the parent's agent update for
+transition *t* runs **while** the workers are already integrating step
+*t+1*:
+
+    >>> observations, _ = venv.reset(seed=0)            # doctest: +SKIP
+    >>> actions = policy(observations)
+    >>> venv.step_async(actions)                        # workers stepping...
+    >>> result = venv.step_wait()
+    >>> venv.step_async(policy(result.observations))    # ...step t+1 launched
+    >>> agent_update(observations, actions, result)     # ...overlapped with it
+
+:func:`pipelined_rollout` packages that double-buffered schedule; the
+throughput benchmark uses it to measure the overlap win against the
+synchronous ``step()`` loop under an identical workload.
+
+Semantics are *unchanged* from the synchronous paths: ``step_async`` +
+``step_wait`` is observation-for-observation identical to
+``SubprocVectorEnv.step`` (the class literally splits that method in two),
+which in turn mirrors :class:`~repro.parallel.vector_env.SyncVectorEnv` —
+the equivalence tests pin all three.  ``steps_per_message`` batching
+composes: each async round-trip can advance up to k frames per sub-env.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.parallel.subproc import SubprocVectorEnv, _receive
+from repro.parallel.vector_env import VectorStepResult
+
+
+class AsyncVectorEnv(SubprocVectorEnv):
+    """A :class:`SubprocVectorEnv` whose step round-trip is splittable.
+
+    All constructor parameters (``env_fns``, ``autoreset``, ``context``,
+    ``steps_per_message``) are inherited unchanged.  ``step()`` remains
+    available with synchronous semantics (``step_async`` + ``step_wait``
+    back to back), so the class is a drop-in superset.
+    """
+
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
+        self._step_pending = False
+
+    @property
+    def step_pending(self) -> bool:
+        """True between :meth:`step_async` and its :meth:`step_wait`."""
+        return self._step_pending
+
+    # ------------------------------------------------------------------ API
+    def step_async(self, actions) -> None:
+        """Ship one batch of actions to the workers without waiting.
+
+        Exactly one async step may be in flight: a second ``step_async``
+        before :meth:`step_wait` raises, because the pipe protocol pairs
+        one reply per command and silently queueing a second batch would
+        let the caller's view of "current observation" drift.
+        """
+        self._ensure_open()
+        if self._step_pending:
+            raise RuntimeError("step_async() called with a step already in "
+                               "flight; call step_wait() first")
+        actions = self._check_actions(actions)
+        for remote, action in zip(self._remotes, actions):
+            remote.send(("step", (action, self.steps_per_message)))
+        self._step_pending = True
+
+    def step_wait(self) -> VectorStepResult:
+        """Collect the in-flight step launched by :meth:`step_async`."""
+        self._ensure_open()
+        if not self._step_pending:
+            raise RuntimeError("step_wait() called with no step in flight; "
+                               "call step_async() first")
+        observations = np.empty((self.num_envs, self._obs_dim))
+        rewards = np.empty(self.num_envs)
+        terminated = np.zeros(self.num_envs, dtype=bool)
+        truncated = np.zeros(self.num_envs, dtype=bool)
+        infos: List[Dict[str, Any]] = []
+        try:
+            for i, remote in enumerate(self._remotes):
+                obs, reward, term, trunc, info = _receive(remote)
+                observations[i] = obs
+                rewards[i] = reward
+                terminated[i] = term
+                truncated[i] = trunc
+                infos.append(info)
+        finally:
+            self._step_pending = False
+        return VectorStepResult(observations, rewards, terminated, truncated, infos)
+
+    def step(self, actions) -> VectorStepResult:
+        """Synchronous step — ``step_async`` + ``step_wait`` back to back."""
+        self.step_async(actions)
+        return self.step_wait()
+
+    def reset(self, *, seed: Optional[int] = None
+              ) -> Tuple[np.ndarray, List[Dict[str, Any]]]:
+        if self._step_pending:        # drop the stale results, then reset
+            self.step_wait()
+        return super().reset(seed=seed)
+
+    def close(self) -> None:
+        if self._step_pending and not self._closed:
+            try:
+                self.step_wait()
+            except Exception:  # pragma: no cover - worker already gone
+                self._step_pending = False
+        super().close()
+
+
+def pipelined_rollout(venv: AsyncVectorEnv,
+                      policy: Callable[[np.ndarray], np.ndarray],
+                      n_steps: int, *,
+                      update: Optional[Callable[[np.ndarray, np.ndarray,
+                                                 VectorStepResult], None]] = None,
+                      seed: Optional[int] = None) -> Dict[str, float]:
+    """Drive the double-buffered step/update pipeline for ``n_steps`` rounds.
+
+    Per round the schedule is: collect step *t*, immediately launch step
+    *t+1* from its observations, and only then run ``update`` on transition
+    *t* — so the update executes concurrently with the workers integrating
+    the next step.  With ``update=None`` the loop still exercises the
+    overlap (the policy evaluation itself is the overlapped compute).
+
+    Returns aggregate counters: ``env_steps`` (frames advanced, counting
+    ``steps_per_message`` batching via the workers' ``frames`` info),
+    ``episodes`` (auto-reset completions) and ``total_reward``.
+    """
+    if n_steps <= 0:
+        raise ValueError("n_steps must be positive")
+    observations, _ = venv.reset(seed=seed)
+    actions = policy(observations)
+    venv.step_async(actions)
+    env_steps = 0
+    episodes = 0
+    total_reward = 0.0
+    for round_index in range(n_steps):
+        result = venv.step_wait()
+        last = round_index == n_steps - 1
+        if not last:
+            next_actions = policy(result.observations)
+            venv.step_async(next_actions)
+        if update is not None:
+            update(observations, actions, result)
+        env_steps += sum(info.get("frames", 1) for info in result.infos)
+        episodes += int(result.dones.sum())
+        total_reward += float(result.rewards.sum())
+        observations = result.observations
+        if not last:
+            actions = next_actions
+    return {"env_steps": float(env_steps), "episodes": float(episodes),
+            "total_reward": total_reward}
+
+
+__all__ = ["AsyncVectorEnv", "pipelined_rollout"]

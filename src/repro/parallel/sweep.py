@@ -26,6 +26,13 @@ Backends
     and handles every design; per-task results are bit-identical to serial.
 ``"serial"``
     The plain loop, for debugging and baselines.
+``"distributed"``
+    A TCP worker fleet behind :func:`repro.distributed.run_distributed_sweep`:
+    tasks are served from a broker in this process to local auto-spawned
+    workers (and/or external ``repro worker --connect`` processes), with
+    heartbeat/lease requeue on worker death and optional per-trial
+    artifact-store checkpointing.  Per-task results are bit-identical to
+    serial.
 ``"auto"``
     ``vectorized`` (its fallback already covers non-batchable designs).
 """
@@ -269,16 +276,28 @@ class SweepRunner:
         (:mod:`repro.api`) uses so every front door routes trials through
         this one engine.
     backend:
-        ``"auto"`` (default), ``"vectorized"``, ``"process"`` or ``"serial"``.
+        ``"auto"`` (default), ``"vectorized"``, ``"process"``, ``"serial"``
+        or ``"distributed"``.
     max_workers:
-        Pool size for the process backend; lock-step group size is the
-        number of compatible trials, independent of this.
+        Pool size for the process backend, or the number of auto-spawned
+        local workers for the distributed backend; lock-step group size is
+        the number of compatible trials, independent of this.
+    store:
+        Distributed backend only: an :class:`~repro.api.store.ArtifactStore`
+        the broker checkpoints every finished trial into as it arrives, so
+        an interrupted sweep resumes from its last completed trial.
+    bind:
+        Distributed backend only: ``"HOST:PORT"`` to accept external
+        ``repro worker --connect`` processes instead of (or in addition to)
+        the auto-spawned local fleet.
     """
 
-    BACKENDS = ("auto", "vectorized", "process", "serial")
+    BACKENDS = ("auto", "vectorized", "process", "serial", "distributed")
 
     def __init__(self, spec: Union[SweepSpec, Sequence[SweepTask]], *,
-                 backend: str = "auto", max_workers: Optional[int] = None) -> None:
+                 backend: str = "auto", max_workers: Optional[int] = None,
+                 store: Optional[object] = None,
+                 bind: Optional[str] = None) -> None:
         if backend not in self.BACKENDS:
             raise ValueError(f"unknown backend {backend!r}; choose from {self.BACKENDS}")
         if not isinstance(spec, SweepSpec):
@@ -297,6 +316,8 @@ class SweepRunner:
         self.spec = spec
         self.backend = "vectorized" if backend == "auto" else backend
         self.max_workers = max_workers
+        self.store = store
+        self.bind = bind
 
     def tasks(self) -> List[SweepTask]:
         """The task list this runner will execute, in grid order."""
@@ -326,6 +347,14 @@ class SweepRunner:
                 if callback is not None:
                     callback(task, result)
                 sweep.add(task, result, backend_used="serial")
+        elif self.backend == "distributed":
+            from repro.distributed import run_distributed_sweep
+
+            pairs = run_distributed_sweep(tasks, n_workers=self.max_workers,
+                                          bind=self.bind, store=self.store,
+                                          callback=callback)
+            for task, (result, backend_used) in zip(tasks, pairs):
+                sweep.add(task, result, backend_used=backend_used)
         else:
             self._run_vectorized(tasks, sweep, callback)
         sweep.wall_time_seconds = time.perf_counter() - start

@@ -14,7 +14,6 @@ from repro.api import (
     register_experiment,
     unregister_experiment,
 )
-from repro.rl.runner import TrainingConfig
 from repro.utils.seeding import stable_digest, stable_hash
 
 

@@ -1,0 +1,252 @@
+"""Protocol-level tests of the sweep broker: leases, requeue, dedup.
+
+These tests drive :class:`~repro.distributed.broker.SweepBroker` with raw
+scripted sockets instead of real workers, so every fault the fleet can
+throw at the broker — a worker killed mid-trial (dropped connection), a
+silently hung worker (lease expiry), a task delivered twice — is exercised
+deterministically, without real training or process juggling.
+"""
+
+import socket
+import time
+
+import pytest
+
+from repro.distributed import protocol
+from repro.distributed.broker import SweepBroker
+from repro.distributed.coordinator import run_distributed_sweep
+from repro.parallel.sweep import SweepSpec
+from repro.rl.runner import TrainingConfig
+
+
+def _tiny_tasks(n_seeds=2):
+    spec = SweepSpec(designs=("OS-ELM-L2",), n_seeds=n_seeds, n_hidden=8,
+                     training=TrainingConfig(max_episodes=3), root_seed=99)
+    return spec.tasks()
+
+
+class _ScriptedWorker:
+    """A bare socket speaking the worker protocol, one frame at a time."""
+
+    def __init__(self, broker, worker_id="scripted"):
+        host, port = broker.address
+        self.sock = socket.create_connection((host, port), timeout=5.0)
+        protocol.send_message(self.sock, protocol.HELLO, worker_id)
+        kind, info = protocol.recv_message(self.sock)
+        assert kind == protocol.WELCOME
+        self.announced_tasks = info["tasks"]
+
+    def get(self):
+        protocol.send_message(self.sock, protocol.GET)
+        return protocol.recv_message(self.sock)
+
+    def send_result(self, index, result="result", backend="distributed"):
+        protocol.send_message(self.sock, protocol.RESULT,
+                              (index, result, backend))
+        kind, fresh = protocol.recv_message(self.sock)
+        assert kind == protocol.ACK
+        return fresh
+
+    def heartbeat(self):
+        protocol.send_message(self.sock, protocol.HEARTBEAT)
+
+    def close(self):
+        self.sock.close()
+
+
+def _wait_until(predicate, timeout=5.0, message="condition"):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.01)
+    raise AssertionError(f"timed out waiting for {message}")
+
+
+class TestBrokerProtocol:
+    def test_empty_grid_is_born_finished(self):
+        broker = SweepBroker([])
+        assert broker.join(timeout=0.1)
+        assert broker.results() == []
+        # The coordinator shortcut never binds a socket for an empty grid.
+        assert run_distributed_sweep([]) == []
+
+    def test_tasks_served_in_order_then_shutdown(self):
+        with SweepBroker(_tiny_tasks(2)) as broker:
+            worker = _ScriptedWorker(broker)
+            assert worker.announced_tasks == 2
+            for expected_index in (0, 1):
+                kind, (index, task) = worker.get()
+                assert kind == protocol.TASK and index == expected_index
+                assert worker.send_result(index, result=f"r{index}") is True
+            kind, _ = worker.get()
+            assert kind == protocol.SHUTDOWN
+            assert broker.join(timeout=1.0)
+            assert [r for r, _ in broker.results()] == ["r0", "r1"]
+            worker.close()
+
+    def test_results_raises_while_incomplete(self):
+        with SweepBroker(_tiny_tasks(2)) as broker:
+            with pytest.raises(RuntimeError, match="incomplete"):
+                broker.results()
+
+    def test_worker_crash_mid_trial_requeues_task(self):
+        """A dropped connection (kill -9 equivalent) returns the lease."""
+        with SweepBroker(_tiny_tasks(1)) as broker:
+            doomed = _ScriptedWorker(broker, "doomed")
+            kind, (index, _) = doomed.get()
+            assert kind == protocol.TASK and index == 0
+            doomed.close()                       # dies holding the lease
+            _wait_until(lambda: broker.requeued_tasks == 1,
+                        message="disconnect requeue")
+            survivor = _ScriptedWorker(broker, "survivor")
+            kind, (index, _) = survivor.get()
+            assert kind == protocol.TASK and index == 0   # same task again
+            assert survivor.send_result(0) is True
+            assert broker.join(timeout=1.0)
+            survivor.close()
+
+    def test_silent_worker_lease_expires(self):
+        """A hung worker (connected, no heartbeats) loses its lease."""
+        with SweepBroker(_tiny_tasks(1), heartbeat_timeout=0.3) as broker:
+            hung = _ScriptedWorker(broker, "hung")
+            kind, (index, _) = hung.get()
+            assert kind == protocol.TASK
+            _wait_until(lambda: broker.requeued_tasks == 1, timeout=3.0,
+                        message="lease expiry")
+            survivor = _ScriptedWorker(broker, "survivor")
+            kind, (index, _) = survivor.get()
+            assert kind == protocol.TASK and index == 0
+            survivor.send_result(0)
+            assert broker.join(timeout=1.0)
+            hung.close()
+            survivor.close()
+
+    def test_heartbeats_keep_a_slow_trial_leased(self):
+        with SweepBroker(_tiny_tasks(1), heartbeat_timeout=0.4) as broker:
+            worker = _ScriptedWorker(broker)
+            kind, (index, _) = worker.get()
+            assert kind == protocol.TASK
+            for _ in range(10):                  # 1s of training, beating at 0.1s
+                time.sleep(0.1)
+                worker.heartbeat()
+            assert broker.requeued_tasks == 0
+            worker.send_result(index)
+            assert broker.join(timeout=1.0)
+            worker.close()
+
+    def test_duplicate_result_delivery_is_deduped(self):
+        """First delivery wins; the duplicate is acked but dropped."""
+        with SweepBroker(_tiny_tasks(1), heartbeat_timeout=0.2) as broker:
+            slow = _ScriptedWorker(broker, "slow")
+            kind, (index, _) = slow.get()
+            assert kind == protocol.TASK
+            _wait_until(lambda: broker.requeued_tasks == 1, timeout=3.0,
+                        message="lease expiry")   # slow looks dead; task requeued
+            fast = _ScriptedWorker(broker, "fast")
+            kind, (index, _) = fast.get()
+            assert kind == protocol.TASK and index == 0
+            assert fast.send_result(0, result="first") is True
+            # ...now the "dead" worker wakes up and delivers anyway.
+            assert slow.send_result(0, result="second") is False
+            assert broker.duplicate_results == 1
+            assert [r for r, _ in broker.results()] == ["first"]
+            slow.close()
+            fast.close()
+
+    def test_late_result_after_expiry_is_not_retrained(self):
+        """An expired-then-delivered task must leave the requeued copy dead:
+        the next GET sees SHUTDOWN, not a pointless re-lease."""
+        with SweepBroker(_tiny_tasks(1), heartbeat_timeout=0.2) as broker:
+            slow = _ScriptedWorker(broker, "slow")
+            kind, (index, _) = slow.get()
+            assert kind == protocol.TASK
+            _wait_until(lambda: broker.requeued_tasks == 1, timeout=3.0,
+                        message="lease expiry")
+            # The original holder delivers anyway — still the first result.
+            assert slow.send_result(0, result="late-but-first") is True
+            assert broker.join(timeout=1.0)
+            other = _ScriptedWorker(broker, "other")
+            kind, _ = other.get()
+            assert kind == protocol.SHUTDOWN     # requeued copy was dropped
+            assert [r for r, _ in broker.results()] == ["late-but-first"]
+            slow.close()
+            other.close()
+
+    def test_stale_holder_disconnect_keeps_reissued_lease(self):
+        """After a lease expires and is re-issued, the original holder's
+        disconnect must not yank the new holder's lease."""
+        with SweepBroker(_tiny_tasks(1), heartbeat_timeout=0.2) as broker:
+            stale = _ScriptedWorker(broker, "stale")
+            kind, (index, _) = stale.get()
+            assert kind == protocol.TASK
+            _wait_until(lambda: broker.requeued_tasks == 1, timeout=3.0,
+                        message="lease expiry")
+            current = _ScriptedWorker(broker, "current")
+            kind, (index, _) = current.get()
+            assert kind == protocol.TASK and index == 0
+            stale.close()                        # must not requeue task 0 again
+            time.sleep(0.1)
+            assert broker.requeued_tasks == 1
+            # current keeps beating, finishes, and the result is fresh.
+            current.heartbeat()
+            assert current.send_result(0) is True
+            assert broker.join(timeout=1.0)
+            current.close()
+
+    def test_wait_frame_when_all_tasks_leased(self):
+        with SweepBroker(_tiny_tasks(1)) as broker:
+            holder = _ScriptedWorker(broker, "holder")
+            kind, _ = holder.get()
+            assert kind == protocol.TASK
+            idle = _ScriptedWorker(broker, "idle")
+            kind, seconds = idle.get()
+            assert kind == protocol.WAIT and seconds > 0
+            holder.send_result(0)
+            kind, _ = idle.get()
+            assert kind == protocol.SHUTDOWN
+            holder.close()
+            idle.close()
+
+    def test_callback_streams_fresh_results_only(self):
+        seen = []
+        tasks = _tiny_tasks(2)
+        with SweepBroker(tasks, callback=lambda t, r: seen.append((t.trial, r))
+                         ) as broker:
+            worker = _ScriptedWorker(broker)
+            for index in (0, 1):
+                worker.get()
+                worker.send_result(index, result=f"r{index}")
+            worker.send_result(1, result="dup")     # duplicate: no callback
+            assert broker.join(timeout=1.0)
+            worker.close()
+        assert seen == [(0, "r0"), (1, "r1")]
+
+
+class TestProtocolHelpers:
+    def test_parse_address(self):
+        assert protocol.parse_address("10.0.0.1:5555") == ("10.0.0.1", 5555)
+        with pytest.raises(ValueError, match="HOST:PORT"):
+            protocol.parse_address("5555")
+        with pytest.raises(ValueError):
+            protocol.parse_address("host:not-a-port")
+
+    def test_oversized_frame_rejected(self):
+        left, right = socket.socketpair()
+        try:
+            left.sendall((protocol.MAX_FRAME_BYTES + 1).to_bytes(8, "big"))
+            with pytest.raises(protocol.ProtocolError, match="MAX_FRAME_BYTES"):
+                protocol.recv_message(right)
+        finally:
+            left.close()
+            right.close()
+
+    def test_eof_mid_frame_raises_connection_error(self):
+        left, right = socket.socketpair()
+        try:
+            left.sendall((100).to_bytes(8, "big") + b"short")
+            left.close()
+            with pytest.raises(ConnectionError):
+                protocol.recv_message(right)
+        finally:
+            right.close()

@@ -14,7 +14,7 @@ from repro.fpga.resources import (
     OSELMCoreResourceModel,
 )
 from repro.fpga.timing import CortexA9LatencyModel, FPGACoreLatencyModel
-from repro.fixedpoint.qformat import Q20, QFormat
+from repro.fixedpoint.qformat import QFormat
 from repro.utils.exceptions import NotFittedError, ResourceExhaustedError
 
 

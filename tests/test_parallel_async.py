@@ -1,0 +1,149 @@
+"""Tests for AsyncVectorEnv: trajectory equivalence and pipeline contract."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import (
+    AsyncVectorEnv,
+    EnvFactory,
+    SubprocVectorEnv,
+    SyncVectorEnv,
+    make_vector,
+    pipelined_rollout,
+)
+
+
+def _factories(num_envs, seed=50):
+    return [EnvFactory("CartPole-v0", seed=seed + i) for i in range(num_envs)]
+
+
+class TestAsyncEquivalence:
+    def test_matches_sync_step_for_step(self):
+        """step_async + step_wait must replay SyncVectorEnv exactly."""
+        fns = _factories(3)
+        with SyncVectorEnv(fns) as sync_env, AsyncVectorEnv(fns) as async_env:
+            obs_sync, _ = sync_env.reset()
+            obs_async, _ = async_env.reset()
+            np.testing.assert_array_equal(obs_sync, obs_async)
+            rng = np.random.default_rng(7)
+            for _ in range(150):
+                actions = rng.integers(0, 2, size=3)
+                expected = sync_env.step(actions)
+                async_env.step_async(actions)
+                observed = async_env.step_wait()
+                np.testing.assert_array_equal(expected.observations,
+                                              observed.observations)
+                np.testing.assert_array_equal(expected.terminated,
+                                              observed.terminated)
+                np.testing.assert_array_equal(expected.truncated,
+                                              observed.truncated)
+                np.testing.assert_array_equal(expected.rewards, observed.rewards)
+
+    def test_matches_subproc_with_message_batching(self):
+        """steps_per_message composes: async(k) == subproc(k) frame-for-frame."""
+        fns = _factories(2, seed=99)
+        with SubprocVectorEnv(fns, steps_per_message=4) as subproc_env, \
+                AsyncVectorEnv(fns, steps_per_message=4) as async_env:
+            subproc_env.reset(seed=11)
+            async_env.reset(seed=11)
+            rng = np.random.default_rng(3)
+            for _ in range(60):
+                actions = rng.integers(0, 2, size=2)
+                expected = subproc_env.step(actions)
+                observed = async_env.step(actions)   # sync-flavoured entry point
+                np.testing.assert_array_equal(expected.observations,
+                                              observed.observations)
+                assert ([i.get("frames") for i in expected.infos]
+                        == [i.get("frames") for i in observed.infos])
+
+    def test_make_vector_builds_async(self):
+        venv = make_vector("CartPole-v0", 2, seed=4, vectorization="async")
+        try:
+            assert isinstance(venv, AsyncVectorEnv)
+            observations, _ = venv.reset()
+            assert observations.shape == (2, 4)
+        finally:
+            venv.close()
+
+
+class TestAsyncProtocol:
+    def test_step_wait_without_async_raises(self):
+        with AsyncVectorEnv(_factories(2)) as venv:
+            venv.reset()
+            with pytest.raises(RuntimeError, match="no step in flight"):
+                venv.step_wait()
+
+    def test_double_step_async_raises(self):
+        with AsyncVectorEnv(_factories(2)) as venv:
+            venv.reset()
+            venv.step_async(np.zeros(2, dtype=int))
+            with pytest.raises(RuntimeError, match="already in flight"):
+                venv.step_async(np.zeros(2, dtype=int))
+            venv.step_wait()
+
+    def test_reset_drains_inflight_step(self):
+        fns = _factories(2)
+        with AsyncVectorEnv(fns) as venv:
+            venv.reset(seed=8)
+            venv.step_async(np.ones(2, dtype=int))
+            observations, _ = venv.reset(seed=8)    # stale step discarded
+            assert not venv.step_pending
+            with SyncVectorEnv(fns) as reference:
+                expected, _ = reference.reset(seed=8)
+            np.testing.assert_array_equal(observations, expected)
+
+    def test_close_with_inflight_step(self):
+        venv = AsyncVectorEnv(_factories(2))
+        venv.reset()
+        venv.step_async(np.zeros(2, dtype=int))
+        venv.close()                                 # must not deadlock
+        assert venv._closed
+
+
+class TestPipelinedRollout:
+    def test_counters_match_a_manual_loop(self):
+        fns = _factories(3, seed=21)
+        rng = np.random.default_rng(5)
+        policy_actions = [rng.integers(0, 2, size=3) for _ in range(40)]
+
+        def replay_policy(queue):
+            queue = iter(queue)
+            return lambda observations: next(queue)
+
+        with SyncVectorEnv(fns) as reference:
+            reference.reset(seed=2)
+            expected_steps = 0
+            expected_episodes = 0
+            for actions in policy_actions:
+                result = reference.step(actions)
+                expected_steps += 3
+                expected_episodes += int(result.dones.sum())
+
+        with AsyncVectorEnv(fns) as venv:
+            stats = pipelined_rollout(venv, replay_policy(policy_actions),
+                                      len(policy_actions), seed=2)
+        assert stats["env_steps"] == expected_steps
+        assert stats["episodes"] == expected_episodes
+
+    def test_update_sees_every_transition_in_order(self):
+        seen = []
+
+        def update(observations, actions, result):
+            seen.append((observations.copy(), actions.copy(),
+                         result.observations.copy()))
+
+        fns = _factories(2, seed=77)
+        rng = np.random.default_rng(9)
+        with AsyncVectorEnv(fns) as venv:
+            pipelined_rollout(venv,
+                              lambda obs: rng.integers(0, 2, size=len(obs)),
+                              25, update=update, seed=1)
+        assert len(seen) == 25
+        # Transitions chain: the update's next-obs is the following update's obs.
+        for (_, _, next_obs), (obs, _, _) in zip(seen, seen[1:]):
+            np.testing.assert_array_equal(next_obs, obs)
+
+    def test_rejects_non_positive_steps(self):
+        with AsyncVectorEnv(_factories(1)) as venv:
+            with pytest.raises(ValueError, match="n_steps"):
+                pipelined_rollout(venv, lambda obs: np.zeros(1, dtype=int), 0)
