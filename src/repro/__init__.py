@@ -53,6 +53,14 @@ from repro.fpga import (
 )
 from repro.fixedpoint import Q20, QFormat
 from repro.rl import TrainingConfig, TrainingResult, evaluate_agent, train_agent
+from repro.training import (
+    AgentProtocol,
+    Callback,
+    CheckpointCallback,
+    MetricsRecorder,
+    ProgressCallback,
+    Trainer,
+)
 from repro.parallel import (
     AsyncVectorEnv,
     SubprocVectorEnv,
@@ -77,7 +85,7 @@ from repro.api import (
 )
 from repro.api import run as run_experiment
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "AgentConfig",
@@ -104,6 +112,12 @@ __all__ = [
     "TrainingResult",
     "evaluate_agent",
     "train_agent",
+    "AgentProtocol",
+    "Callback",
+    "CheckpointCallback",
+    "MetricsRecorder",
+    "ProgressCallback",
+    "Trainer",
     "AsyncVectorEnv",
     "SubprocVectorEnv",
     "SweepBroker",

@@ -8,9 +8,15 @@ Subcommands
     Execute an experiment (registered name at ``--ci``/paper scale, or a
     spec JSON file) with artifact-store caching: a second invocation with
     the same spec completes from cache.  ``--no-resume`` forces retraining.
-``repro report <name|spec.json> [--ci] [--out DIR] [--csv PATH]``
+    ``--checkpoint-every N`` (serial backend) additionally persists
+    mid-trial training state so a killed run resumes *inside* a trial;
+    ``--progress-every N`` streams per-trial progress to stderr;
+    ``--lease-batch K`` batches distributed task leases.
+``repro report <name|spec.json> [--ci] [--out DIR] [--csv PATH] [--plot]``
     Re-render a finished run purely from cached artifacts (no training;
-    errors if trials are missing).
+    errors if trials are missing).  ``--plot`` regenerates the Figure 4/5
+    panels from the cached curves into ``--plot-dir`` (needs matplotlib;
+    graceful no-op message without it).
 ``repro worker --connect HOST:PORT [--store DIR]``
     Join a distributed sweep as a worker: pull tasks from the broker that
     ``repro run --backend distributed --bind HOST:PORT`` published, train
@@ -77,6 +83,16 @@ def _finish(report: RunReport, args: argparse.Namespace) -> int:
         Path(args.csv).write_text(report.summary_csv(), encoding="utf-8")
         if not args.quiet:
             print(f"summary csv: {args.csv}")
+    if getattr(args, "plot", False):
+        from repro.api.plotting import plot_report
+
+        written = plot_report(report, args.plot_dir)
+        if written is None:
+            print("plotting skipped: matplotlib is not installed "
+                  "(pip install matplotlib to enable --plot)")
+        elif not args.quiet:
+            for path in written:
+                print(f"figure: {path}")
     return 0
 
 
@@ -93,7 +109,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
     workers = args.workers if args.workers is not None else args.max_workers
     report = run(spec, backend=args.backend, out=_store_root(args),
                  resume=not args.no_resume, max_workers=workers,
-                 bind=args.bind)
+                 bind=args.bind, checkpoint_every=args.checkpoint_every,
+                 lease_batch=args.lease_batch,
+                 progress_every=args.progress_every)
     return _finish(report, args)
 
 
@@ -146,6 +164,12 @@ def build_parser() -> argparse.ArgumentParser:
                               "when set, else ./artifacts)")
         sub.add_argument("--csv", default=None, metavar="PATH",
                          help="also write the summary rows as CSV")
+        sub.add_argument("--plot", action="store_true",
+                         help="regenerate the Figure 4/5 panels from the run's "
+                              "curves (requires matplotlib, a graceful no-op "
+                              "message without it)")
+        sub.add_argument("--plot-dir", default="figures", metavar="DIR",
+                         help="output directory for --plot (default: ./figures)")
         sub.add_argument("--quiet", action="store_true",
                          help="suppress the rendered table")
 
@@ -164,6 +188,18 @@ def build_parser() -> argparse.ArgumentParser:
     runner.add_argument("--bind", default=None, metavar="HOST:PORT",
                         help="distributed backend: accept external "
                              "`repro worker --connect` processes here")
+    runner.add_argument("--checkpoint-every", type=int, default=0, metavar="N",
+                        help="serial backend: persist mid-trial training state "
+                             "every N episodes so a killed run resumes inside "
+                             "a trial, bit-for-bit (0 = off)")
+    runner.add_argument("--lease-batch", type=int, default=1, metavar="K",
+                        help="distributed backend: tasks leased per worker "
+                             "request (amortizes connection latency; "
+                             "default 1)")
+    runner.add_argument("--progress-every", type=int, default=0, metavar="N",
+                        help="stream per-trial training progress to stderr "
+                             "every N episodes (serial/vectorized backends; "
+                             "0 = off)")
     runner.set_defaults(handler=_cmd_run)
 
     reporter = commands.add_parser(

@@ -27,7 +27,7 @@ from repro.api.registry import get_spec
 from repro.api.spec import ExperimentSpec
 from repro.api.store import ArtifactStore, trial_key
 from repro.parallel.sweep import SweepRunner, SweepTask
-from repro.rl.recording import TrainingResult
+from repro.training.records import TrainingResult
 from repro.utils.logging import get_logger
 
 _LOGGER = get_logger("repro.api.engine")
@@ -42,7 +42,7 @@ class TrialRecord:
 
     task: SweepTask
     result: TrainingResult
-    backend_used: str            #: "lockstep" | "serial-fallback" | "process" | "serial"
+    backend_used: str            #: "lockstep" | "process" | "serial" | "distributed"
     cached: bool = False         #: True when restored from the artifact store
 
 
@@ -103,7 +103,8 @@ def run(spec_or_name: Union[str, ExperimentSpec], *, backend: str = "auto",
         scale: str = "paper", out: Optional[str] = None,
         store: Optional[ArtifactStore] = None, resume: bool = True,
         cache_only: bool = False, max_workers: Optional[int] = None,
-        bind: Optional[str] = None) -> RunReport:
+        bind: Optional[str] = None, checkpoint_every: int = 0,
+        lease_batch: int = 1, progress_every: int = 0) -> RunReport:
     """Execute an experiment spec (or registered name) and return its report.
 
     Parameters
@@ -126,16 +127,30 @@ def run(spec_or_name: Union[str, ExperimentSpec], *, backend: str = "auto",
         without caching — nothing is written to disk.
     resume:
         With a store attached, load cached trials instead of retraining
-        (default).  ``False`` forces re-execution (artifacts are rewritten).
+        (default).  ``False`` forces re-execution (artifacts are rewritten
+        and stale mid-trial state snapshots are discarded).
     cache_only:
         Do not train at all: every trial must already be in the store
         (raises ``RuntimeError`` otherwise).  This is ``repro report``.
     max_workers:
         Pool size for the process backend, or the local worker count for
-        the distributed backend.
+        the distributed backend.  ``None`` falls back to the spec's own
+        :attr:`~repro.api.spec.ExperimentSpec.max_workers` hint (specs can
+        cap per-trial workers without CLI flags), then to the runner's
+        default.
     bind:
         Distributed backend only: ``"HOST:PORT"`` on which the broker
         accepts external ``repro worker --connect`` processes.
+    checkpoint_every:
+        Serial backend with a store: persist mid-trial training state every
+        N episodes so an interrupted run resumes *inside* a trial
+        (bit-for-bit).  0 disables.
+    lease_batch:
+        Distributed backend: tasks leased per worker request (k-task
+        batching; default 1 is the classic protocol).
+    progress_every:
+        Serial/vectorized backends: stream per-trial progress to stderr
+        every N episodes.  0 disables.
     """
     if backend not in BACKENDS:
         raise ValueError(f"unknown backend {backend!r}; choose from {BACKENDS}")
@@ -145,6 +160,8 @@ def run(spec_or_name: Union[str, ExperimentSpec], *, backend: str = "auto",
         spec = get_spec(spec_or_name, scale=scale)
     if store is None and out is not None:
         store = ArtifactStore(out)
+    if max_workers is None:
+        max_workers = spec.max_workers
 
     start = time.perf_counter()
     if spec.kind == "resource_table":
@@ -176,12 +193,18 @@ def run(spec_or_name: Union[str, ExperimentSpec], *, backend: str = "auto",
         # Trials are checkpointed the moment they finish, not when the sweep
         # returns, so an interrupted paper-scale run resumes mid-grid.  The
         # distributed backend checkpoints through its broker; every other
-        # backend streams completions through the runner callback.
-        runner_store = store if backend == "distributed" else None
-        checkpoint = (None if store is None or runner_store is not None
+        # backend streams completions through the runner callback.  The
+        # serial backend additionally gets the store for *mid-trial* state
+        # checkpointing (checkpoint_every), resuming inside a trial.
+        runner_store = store if backend in ("distributed", "serial") else None
+        checkpoint = (None if store is None or backend == "distributed"
                       else _trial_checkpointer(store, backend))
         sweep = SweepRunner(misses, backend=backend, max_workers=max_workers,
-                            store=runner_store, bind=bind).run(checkpoint)
+                            store=runner_store, bind=bind,
+                            checkpoint_every=checkpoint_every,
+                            resume_trial_state=resume,
+                            lease_batch=lease_batch,
+                            progress_every=progress_every).run(checkpoint)
         for (task, result), backend_used in zip(sweep.entries, sweep.backends_used):
             records[task.key()] = TrialRecord(task, result, backend_used)
 
@@ -209,19 +232,13 @@ def _trial_checkpointer(store: ArtifactStore, backend: str):
 
     The callback contract carries no ``backend_used``, so the execution path
     is recomputed here with the sweep's own routing rule — ``auto`` resolves
-    to vectorized, whose lock-step groups take ``"lockstep"`` and whose
-    non-batchable designs fall back to ``"serial-fallback"``.
+    to vectorized, where every trial lock-steps (batched or generic
+    strategy, both recorded ``"lockstep"``).
     """
-    from repro.parallel.sweep import _design_supports_lockstep
-
     effective = "vectorized" if backend == "auto" else backend
+    backend_used = effective if effective in ("serial", "process") else "lockstep"
 
     def checkpoint(task: SweepTask, result: TrainingResult) -> None:
-        if effective in ("serial", "process"):
-            backend_used = effective
-        else:
-            backend_used = ("lockstep" if _design_supports_lockstep(task.design)
-                            else "serial-fallback")
         store.save_trial(task, result, backend_used=backend_used)
 
     return checkpoint

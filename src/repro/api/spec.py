@@ -113,6 +113,12 @@ class ExperimentSpec:
     budget:
         The training protocol; swap budgets to move between CI and paper
         scale without touching anything else.
+    max_workers:
+        Spec-level parallelism hint: caps the worker count (process pool
+        size / distributed local fleet) when the caller of ``repro run`` /
+        :func:`repro.api.engine.run` does not pass one explicitly.  ``None``
+        (default) defers to the runner's own default.  Lets a spec that is,
+        say, memory-hungry per trial ship its own cap without CLI flags.
     """
 
     name: str
@@ -127,6 +133,7 @@ class ExperimentSpec:
     seed_stride: int = 17
     seed_mod: int = 997
     description: str = ""
+    max_workers: Optional[int] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "designs", tuple(self.designs))
@@ -142,6 +149,8 @@ class ExperimentSpec:
             raise ValueError("n_seeds must be positive")
         if self.seed_mod <= 0:
             raise ValueError("seed_mod must be positive")
+        if self.max_workers is not None and self.max_workers <= 0:
+            raise ValueError("max_workers must be positive or None")
         if self.kind != "resource_table":
             if not self.designs:
                 raise ValueError("designs must not be empty")
@@ -257,8 +266,17 @@ class ExperimentSpec:
         return cls(budget=budget, **payload)
 
     def canonical_json(self) -> str:
-        """Key-sorted compact JSON — the content-addressing input."""
-        return json.dumps(self.to_json(), sort_keys=True, separators=(",", ":"))
+        """Key-sorted compact JSON — the content-addressing input.
+
+        Pure *execution hints* (``max_workers``) are excluded: they change
+        how fast a run executes, never what it computes (backend
+        equivalence is the library's core guarantee), so two specs that
+        differ only in hints share one identity, one run record and one
+        set of cached trials.
+        """
+        data = self.to_json()
+        data.pop("max_workers", None)
+        return json.dumps(data, sort_keys=True, separators=(",", ":"))
 
     @property
     def spec_hash(self) -> str:

@@ -30,7 +30,7 @@ from typing import Any, Dict, List, Optional, Tuple, Union
 import numpy as np
 
 from repro.parallel.sweep import SweepTask
-from repro.rl.recording import EpisodeRecord, TrainingCurve, TrainingResult
+from repro.training.records import EpisodeRecord, TrainingCurve, TrainingResult
 from repro.utils.serialization import load_arrays, load_json, save_arrays, save_json
 from repro.utils.seeding import stable_digest
 from repro.utils.timer import TimeBreakdown
@@ -114,6 +114,8 @@ class ArtifactStore:
         """
         key = trial_key(task)
         directory = self.trial_dir(key)
+        # A finished trial supersedes any mid-trial state snapshot.
+        self.clear_trial_state(task)
         record = {
             "descriptor": trial_descriptor(task),
             "backend_used": backend_used,
@@ -185,6 +187,37 @@ class ArtifactStore:
             # (a run killed mid-save) — exactly the partial-write case that
             # must read as a miss so the trial reruns.
             return None
+
+    # ------------------------------------------------------------------ mid-trial state
+    # The serial Trainer's CheckpointCallback persists its full in-flight
+    # training state here (pickled agent + env + bookkeeping, all RNG
+    # streams included), so an interrupted `repro run` resumes *inside* a
+    # trial and still reproduces the uninterrupted curve bit-for-bit.
+
+    def trial_state_path(self, task: SweepTask) -> Path:
+        return self.trial_dir(trial_key(task)) / "state.pkl"
+
+    def save_trial_state(self, task: SweepTask, blob: bytes) -> Path:
+        """Atomically persist a mid-trial checkpoint blob (temp + rename)."""
+        path = self.trial_state_path(task)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f"state.{os.getpid()}.tmp")
+        tmp.write_bytes(blob)
+        os.replace(tmp, path)
+        return path
+
+    def load_trial_state(self, task: SweepTask) -> Optional[bytes]:
+        """The latest mid-trial checkpoint blob, or ``None``."""
+        try:
+            return self.trial_state_path(task).read_bytes()
+        except (FileNotFoundError, OSError):
+            return None
+
+    def clear_trial_state(self, task: SweepTask) -> None:
+        try:
+            self.trial_state_path(task).unlink()
+        except FileNotFoundError:
+            pass
 
     # ------------------------------------------------------------------ runs
     def save_run(self, spec: "ExperimentSpec",  # noqa: F821 - forward ref

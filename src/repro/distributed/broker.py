@@ -38,7 +38,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.distributed import protocol
 from repro.parallel.sweep import SweepTask
-from repro.rl.recording import TrainingResult
+from repro.training.records import TrainingResult
 from repro.utils.logging import get_logger
 
 _LOGGER = get_logger("repro.distributed.broker")
@@ -89,19 +89,37 @@ class SweepBroker:
     callback:
         ``callback(task, result)`` streamed as each *fresh* result lands,
         mirroring :meth:`SweepRunner.run`'s callback contract.
+    lease_batch:
+        Tasks leased per worker ``GET``.  With k > 1 the broker answers a
+        request with one ``TASKS`` frame carrying up to k tasks (each an
+        independent lease), so remote workers amortize a connection round
+        trip over k trials on paper-scale grids.  The default of 1 keeps
+        the classic one-``TASK``-per-request protocol.  Leases, heartbeat
+        extension, requeue-on-death and result dedup are per *task* either
+        way — a worker dying mid-batch requeues only its unfinished tasks.
+
+        Batching is *negotiated per worker*: a ``GET`` frame's payload
+        advertises how many tasks the sender can accept (pre-1.4 workers
+        send ``None``), and the broker caps each batch at
+        ``min(lease_batch, advertised)`` — so a mixed fleet of old and new
+        workers serves one batching broker safely, old workers simply
+        receiving classic ``TASK`` frames.
     """
 
     def __init__(self, tasks: Sequence[SweepTask], *, host: str = "127.0.0.1",
                  port: int = 0, store: Optional[object] = None,
                  heartbeat_timeout: float = 30.0,
-                 callback: Optional[Callable[[SweepTask, TrainingResult], None]] = None
-                 ) -> None:
+                 callback: Optional[Callable[[SweepTask, TrainingResult], None]] = None,
+                 lease_batch: int = 1) -> None:
         if heartbeat_timeout <= 0:
             raise ValueError("heartbeat_timeout must be positive")
+        if lease_batch < 1:
+            raise ValueError("lease_batch must be >= 1")
         self.tasks: List[SweepTask] = list(tasks)
         self.store = store
         self.heartbeat_timeout = float(heartbeat_timeout)
         self.callback = callback
+        self.lease_batch = int(lease_batch)
         self._bind_host = host
         self._bind_port = port
 
@@ -242,7 +260,7 @@ class SweepBroker:
                     elif kind == protocol.HEARTBEAT:
                         self._extend_leases(held)
                     elif kind == protocol.GET:
-                        self._handle_get(connection, worker_id, held)
+                        self._handle_get(connection, worker_id, held, payload)
                     elif kind == protocol.RESULT:
                         self._handle_result(connection, payload, held)
                     else:
@@ -254,16 +272,27 @@ class SweepBroker:
             self._requeue_held(held, worker_id)
 
     def _handle_get(self, connection: socket.socket, worker_id: str,
-                    held: Set[int]) -> None:
+                    held: Set[int], capacity: object = None) -> None:
+        # `capacity` is the worker's advertised max lease batch.  Pre-1.4
+        # workers send GET with a None payload and can only parse TASK
+        # frames, so they cap the batch at 1 regardless of lease_batch.
+        advertised = capacity if isinstance(capacity, int) and capacity >= 1 else 1
+        batch = min(self.lease_batch, advertised)
         with self._lock:
             if len(self._results) == len(self.tasks):
                 reply = (protocol.SHUTDOWN, None)
             elif self._pending:
-                index = self._pending.popleft()
+                leased: List[Tuple[int, SweepTask]] = []
                 deadline = time.monotonic() + self.heartbeat_timeout
-                self._leases[index] = _Lease(index, worker_id, deadline, held)
-                held.add(index)
-                reply = (protocol.TASK, (index, self.tasks[index]))
+                while self._pending and len(leased) < batch:
+                    index = self._pending.popleft()
+                    self._leases[index] = _Lease(index, worker_id, deadline, held)
+                    held.add(index)
+                    leased.append((index, self.tasks[index]))
+                if batch == 1:
+                    reply = (protocol.TASK, leased[0])
+                else:
+                    reply = (protocol.TASKS, leased)
             else:
                 reply = (protocol.WAIT, WAIT_HINT_SECONDS)
         protocol.send_message(connection, *reply)

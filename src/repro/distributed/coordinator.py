@@ -28,7 +28,7 @@ from repro.distributed.protocol import parse_address
 from repro.distributed.worker import WorkerOptions, run_worker
 from repro.parallel.pool import default_max_workers
 from repro.parallel.sweep import SweepTask
-from repro.rl.recording import TrainingResult
+from repro.training.records import TrainingResult
 from repro.utils.logging import get_logger
 
 _LOGGER = get_logger("repro.distributed.coordinator")
@@ -78,6 +78,7 @@ def run_distributed_sweep(
         callback: Optional[Callable[[SweepTask, TrainingResult], None]] = None,
         heartbeat_timeout: float = DEFAULT_HEARTBEAT_TIMEOUT,
         timeout: Optional[float] = None,
+        lease_batch: int = 1,
 ) -> List[Tuple[TrainingResult, str]]:
     """Execute ``tasks`` on a worker fleet; ``(result, backend_used)`` per task.
 
@@ -99,6 +100,9 @@ def run_distributed_sweep(
         Broker-side lease timeout (see :class:`SweepBroker`).
     timeout:
         Overall wall-clock bound; ``TimeoutError`` when exceeded.
+    lease_batch:
+        Tasks the broker leases per worker request (see
+        :class:`~repro.distributed.broker.SweepBroker`); default 1.
     """
     tasks = list(tasks)
     if not tasks:
@@ -116,7 +120,8 @@ def run_distributed_sweep(
                              "is given (nobody could ever serve the queue)")
 
     broker = SweepBroker(tasks, host=host, port=port, store=store,
-                         heartbeat_timeout=heartbeat_timeout, callback=callback)
+                         heartbeat_timeout=heartbeat_timeout, callback=callback,
+                         lease_batch=lease_batch)
     broker.start()
     bound_host, bound_port = broker.address
     workers = spawn_local_workers(bound_host, bound_port, n_workers)

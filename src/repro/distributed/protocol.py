@@ -20,7 +20,18 @@ worker sends          broker replies           meaning
 ===================  =======================  ================================
 ``(HELLO, worker_id)``  ``(WELCOME, info)``     registration; ``info`` carries
                                                 the sweep size
-``(GET, None)``         ``(TASK, (idx, task))``  a leased task to execute
+``(GET, capacity)``     ``(TASK, (idx, task))``  a leased task to execute.
+                                                 ``capacity`` advertises the
+                                                 worker's max lease batch
+                                                 (pre-1.4 workers send
+                                                 ``None`` = 1; brokers
+                                                 ignore unknown payloads)
+..                      ``(TASKS, [(idx, task), ...])``  a *batch* of leased
+                                                 tasks, at most
+                                                 ``min(broker lease_batch,
+                                                 worker capacity)`` — sent
+                                                 only to workers that
+                                                 advertised capacity > 1
 ..                      ``(WAIT, seconds)``      nothing free right now — every
                                                  remaining task is leased to
                                                  another worker; poll again
@@ -52,6 +63,7 @@ HEARTBEAT = "heartbeat"
 #: Broker -> worker kinds.
 WELCOME = "welcome"
 TASK = "task"
+TASKS = "tasks"          #: k-task lease batch (brokers with lease_batch > 1)
 WAIT = "wait"
 SHUTDOWN = "shutdown"
 ACK = "ack"
@@ -108,6 +120,6 @@ def parse_address(address: str) -> Tuple[str, int]:
 
 __all__ = [
     "ACK", "GET", "HEARTBEAT", "HELLO", "MAX_FRAME_BYTES", "ProtocolError",
-    "RESULT", "SHUTDOWN", "TASK", "WAIT", "WELCOME",
+    "RESULT", "SHUTDOWN", "TASK", "TASKS", "WAIT", "WELCOME",
     "parse_address", "recv_message", "send_message",
 ]

@@ -33,13 +33,19 @@ from typing import Optional, Tuple
 
 from repro.distributed import protocol
 from repro.parallel.sweep import SweepTask, _run_sweep_task
-from repro.rl.recording import TrainingResult
+from repro.training.records import TrainingResult
 from repro.utils.logging import get_logger
 
 _LOGGER = get_logger("repro.distributed.worker")
 
 #: ``backend_used`` recorded for trials executed by the worker fleet.
 DISTRIBUTED_BACKEND = "distributed"
+
+#: Max lease batch this worker advertises in every ``GET`` payload.  The
+#: broker caps batches at min(its lease_batch, this) per worker, so mixed
+#: fleets are safe: pre-1.4 workers send ``None`` and keep getting classic
+#: single-``TASK`` frames even from a batching broker.
+LEASE_CAPACITY = 1024
 
 
 @dataclass(frozen=True)
@@ -101,7 +107,7 @@ def run_worker(host: str, port: int,
                      tasks=info.get("tasks"))
         while options.max_tasks is None or completed < options.max_tasks:
             try:
-                send(protocol.GET)
+                send(protocol.GET, LEASE_CAPACITY)
                 kind, payload = protocol.recv_message(sock)
             except (ConnectionError, OSError):
                 # The broker is gone — sweep finished (it tears the port
@@ -114,26 +120,38 @@ def run_worker(host: str, port: int,
             if kind == protocol.WAIT:
                 time.sleep(float(payload))
                 continue
-            if kind != protocol.TASK:
-                raise protocol.ProtocolError(f"expected TASK/WAIT/SHUTDOWN, "
+            if kind == protocol.TASK:
+                batch = [payload]
+            elif kind == protocol.TASKS:
+                # lease_batch > 1 broker: up to k independent leases per
+                # request; executed sequentially, one RESULT/ACK pair each,
+                # so per-task requeue/dedup semantics are unchanged.
+                batch = list(payload)
+            else:
+                raise protocol.ProtocolError(f"expected TASK/TASKS/WAIT/SHUTDOWN, "
                                              f"got {kind!r}")
-            index, task = payload
-            result, was_cached = _execute_with_heartbeat(
-                task, store, send, options.heartbeat_interval)
-            try:
-                send(protocol.RESULT, (index, result, DISTRIBUTED_BACKEND))
-                kind, fresh = protocol.recv_message(sock)
-            except (ConnectionError, OSError):
-                # Result may or may not have landed; the broker requeues the
-                # lease if it didn't, and dedups the delivery if it did.
-                _LOGGER.warning("broker lost mid-result", worker=worker_id,
-                                task=index)
+            broker_lost = False
+            for index, task in batch:
+                result, was_cached = _execute_with_heartbeat(
+                    task, store, send, options.heartbeat_interval)
+                try:
+                    send(protocol.RESULT, (index, result, DISTRIBUTED_BACKEND))
+                    kind, fresh = protocol.recv_message(sock)
+                except (ConnectionError, OSError):
+                    # Result may or may not have landed; the broker requeues
+                    # the lease if it didn't, and dedups the delivery if it
+                    # did.  Remaining leases of the batch get requeued too.
+                    _LOGGER.warning("broker lost mid-result", worker=worker_id,
+                                    task=index)
+                    broker_lost = True
+                    break
+                if kind != protocol.ACK:
+                    raise protocol.ProtocolError(f"expected ACK, got {kind!r}")
+                completed += 1
+                _LOGGER.info("task done", worker=worker_id, task=index,
+                             cached=was_cached, accepted=fresh)
+            if broker_lost:
                 break
-            if kind != protocol.ACK:
-                raise protocol.ProtocolError(f"expected ACK, got {kind!r}")
-            completed += 1
-            _LOGGER.info("task done", worker=worker_id, task=index,
-                         cached=was_cached, accepted=fresh)
     finally:
         sock.close()
     _LOGGER.info("worker exiting", worker=worker_id, completed=completed)
@@ -161,5 +179,5 @@ def _execute_with_heartbeat(task: SweepTask, store, send,
         thread.join(timeout=1.0)
 
 
-__all__ = ["DISTRIBUTED_BACKEND", "WorkerOptions", "default_worker_id",
-           "execute_task", "run_worker"]
+__all__ = ["DISTRIBUTED_BACKEND", "LEASE_CAPACITY", "WorkerOptions",
+           "default_worker_id", "execute_task", "run_worker"]

@@ -36,8 +36,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.core.designs import DESIGN_NAMES, make_design
 from repro.experiments.reporting import format_table
 from repro.fpga.platform import PynqZ1Platform
-from repro.rl.recording import TrainingResult
-from repro.rl.runner import TrainingConfig, train_agent
+from repro.training.records import TrainingResult
+from repro.training import Trainer, TrainingConfig
 from repro.utils.logging import get_logger
 from repro.utils.seeding import stable_hash
 from repro.utils.timer import TimeBreakdown
@@ -269,7 +269,7 @@ class ExecutionTimeExperiment:
             seed=seed,
         )
         _LOGGER.info("timing run", design=design, n_hidden=n_hidden)
-        result = train_agent(agent, config=config, n_hidden=n_hidden)
+        result = Trainer().fit(agent, config=config, n_hidden=n_hidden)
         return self.project(result)
 
     def project(self, result: TrainingResult) -> DesignTiming:

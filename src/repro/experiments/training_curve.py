@@ -30,8 +30,8 @@ import numpy as np
 
 from repro.core.designs import SOFTWARE_DESIGNS, make_design
 from repro.experiments.reporting import format_table
-from repro.rl.recording import TrainingResult
-from repro.rl.runner import TrainingConfig, train_agent
+from repro.training.records import TrainingResult
+from repro.training import Trainer, TrainingConfig
 from repro.utils.logging import get_logger
 from repro.utils.seeding import stable_hash
 
@@ -195,7 +195,7 @@ class TrainingCurveExperiment:
         )
         _LOGGER.info("training", design=design, n_hidden=n_hidden,
                      max_episodes=config.max_episodes)
-        return train_agent(agent, config=config, n_hidden=n_hidden)
+        return Trainer().fit(agent, config=config, n_hidden=n_hidden)
 
     def run(self) -> TrainingCurveResult:
         """Run the full sweep and return the collected curves.

@@ -1,156 +1,35 @@
-"""Lock-step batched training of N independent ELM-family trials.
+"""Deprecated front door of lock-step batched training.
 
-The paper's sweeps average many independent trials (designs x seeds); the
-serial path trains them one after another, and every one of those runs is
-dominated by Python call overhead around microsecond-scale NumPy kernels
-(a 5x32 matmul, a rank-1 update of a 32x32 matrix).  This module advances
-all N trials *in lock-step through one process*: each iteration performs
+``train_agents_lockstep`` used to implement the batched ELM/OS-ELM training
+loop by hand; the loop now lives in
+:meth:`repro.training.trainer.Trainer.fit_lockstep` with the batched math
+in :class:`repro.training.strategies.BatchedELMStrategy`, and this module
+is a thin compatibility wrapper.  Per-trial semantics are those of the
+serial trainer — fixed-seed results replay the historical implementation
+bit-for-bit (pinned by the equivalence suite).
 
-* one batched epsilon-greedy sweep — the hidden layers of all N agents are
-  evaluated with stacked ``(N, n_actions, n_inputs) @ (N, n_inputs, H)``
-  matmuls instead of N separate Python call chains;
-* one vectorized environment step (through
-  :class:`~repro.parallel.vector_env.SyncVectorEnv`, including its batched
-  CartPole physics);
-* one batched OS-ELM sequential update (targets, Sherman–Morrison ``P``
-  update and ``beta`` update stacked over the subset of agents whose random
-  update gate fired this step).
+New code should use::
 
-Semantics are trial-for-trial those of :func:`repro.rl.runner.train_agent`:
-each trial keeps its own agent RNG streams (exploration draws, update-gate
-draws and weight-reset redraws consume each agent's own generator in the
-same order as the serial loop), its own environment stream, its own solved
-criterion, stall-reset rule and episode budget.  Trials that finish early
-(solved with ``stop_when_solved``) stop consuming agent state while the
-rest of the batch runs on.
+    from repro.training import Trainer
+    results = Trainer().fit_lockstep(agents, configs)          # auto strategy
 
-Scope: agents whose model is a plain :class:`~repro.core.elm.ELM` or
-:class:`~repro.core.os_elm.OSELM` (designs 1–5).  The DQN baseline and the
-fixed-point FPGA model keep their own update rules and run through the
-serial/process backends of :class:`~repro.parallel.sweep.SweepRunner`.
-
-Timing attribution: operation *counts* in each result's breakdown are exact
-(they drive the platform latency projections of Figure 5/6); measured
-*seconds* of the batched phases are apportioned across trials by their
-share of the operation counts, and ``wall_time_seconds`` is the wall time
-of the whole batch (all N trials trained concurrently within it).
+which additionally trains *any* protocol agent (DQN, FPGA, unregularized
+OS-ELM) lock-step through the generic per-agent strategy; this wrapper
+keeps the historical batched-only contract (it raises for agents the
+batched strategy cannot replay faithfully).
 """
 
 from __future__ import annotations
 
-import time
 from typing import List, Optional, Sequence
 
-import numpy as np
+from repro.core.agents import _ELMFamilyAgent
+from repro.parallel.vector_env import SyncVectorEnv
+from repro.training.config import TrainingConfig
+from repro.training.records import TrainingResult
+from repro.training.strategies import supports_lockstep
 
-from repro.core.agents import ELMQAgent, _ELMFamilyAgent
-from repro.core.clipping import shaped_cartpole_reward
-from repro.core.elm import ELM
-from repro.core.os_elm import OSELM
-from repro.parallel.vector_env import EnvFactory, SyncVectorEnv
-from repro.rl.recording import EpisodeRecord, TrainingCurve, TrainingResult
-from repro.rl.runner import TrainingConfig
-from repro.utils.logging import get_logger
-from repro.utils.metrics import SolvedCriterion
-
-_LOGGER = get_logger("repro.parallel.lockstep")
-
-
-def supports_lockstep(agent: object) -> bool:
-    """Whether an agent can join a lock-step batch.
-
-    True for the ELM design and the L2-regularized OS-ELM designs.  False
-    for DQN (different update rule), the FPGA design (fixed-point core with
-    its own state), and the *unregularized* OS-ELM variants: without the
-    ridge term the recursive inverse-Gram update is numerically chaotic, so
-    the 1-ULP differences between batched and serial BLAS paths amplify
-    into visibly different trajectories, breaking the serial-replay
-    guarantee.  Unsupported designs run through the sweep's serial/process
-    paths instead.
-    """
-    if not isinstance(agent, _ELMFamilyAgent) or type(agent.model) not in (ELM, OSELM):
-        return False
-    if isinstance(agent.model, OSELM) and agent.model.regularization.l2_delta <= 0:
-        return False
-    return True
-
-
-class _Trial:
-    """Per-trial bookkeeping mirrored from the serial training loop."""
-
-    __slots__ = (
-        "agent", "config", "criterion", "curve", "episode", "steps",
-        "shaped_return", "active", "solved", "episodes_to_solve", "seq_phase",
-        "delegate_observe", "acts_init", "acts_seq", "boots", "sequps",
-        "n_applied_updates",
-    )
-
-    def __init__(self, agent: _ELMFamilyAgent, config: TrainingConfig) -> None:
-        self.agent = agent
-        self.config = config
-        self.criterion = SolvedCriterion(config.solved_threshold,
-                                         config.solved_window, config.max_episodes)
-        self.curve = TrainingCurve()
-        self.episode = 1
-        self.steps = 0
-        self.shaped_return = 0.0
-        self.active = True
-        self.solved = False
-        self.episodes_to_solve: Optional[int] = None
-        #: Whether the trial has entered the batched sequential-update phase.
-        self.seq_phase = False
-        #: ELM agents retrain in-place on every buffer refill; their observe
-        #: path stays on the agent object and only acting is batched.
-        self.delegate_observe = isinstance(agent, ELMQAgent)
-        self.acts_init = 0
-        self.acts_seq = 0
-        self.boots = 0
-        self.sequps = 0
-        self.n_applied_updates = 0
-
-
-def _validate_batch(agents: Sequence[_ELMFamilyAgent],
-                    configs: Sequence[TrainingConfig]) -> None:
-    if not agents:
-        raise ValueError("train_agents_lockstep needs at least one agent")
-    if len(agents) != len(configs):
-        raise ValueError(
-            f"got {len(agents)} agents but {len(configs)} configs"
-        )
-    for agent in agents:
-        if not supports_lockstep(agent):
-            raise TypeError(
-                f"{type(agent).__name__} (model {type(getattr(agent, 'model', None)).__name__}) "
-                "cannot join a lock-step batch; route it through the serial or "
-                "process backend instead"
-            )
-    first = agents[0].config
-    first_activation = agents[0].model.activation.name
-    for agent in agents[1:]:
-        cfg = agent.config
-        if (cfg.input_size, cfg.n_hidden, cfg.n_actions, cfg.n_states) != (
-                first.input_size, first.n_hidden, first.n_actions, first.n_states):
-            raise ValueError("all agents in a lock-step batch must share layer sizes")
-        if agent.model.activation.name != first_activation:
-            raise ValueError(
-                "all agents in a lock-step batch must share the activation; got "
-                f"{agent.model.activation.name!r} and {first_activation!r}"
-            )
-    env_ids = {config.env_id for config in configs}
-    if len(env_ids) != 1:
-        raise ValueError(f"all trials in a lock-step batch must share env_id, got {env_ids}")
-
-
-def _build_vector_env(configs: Sequence[TrainingConfig]) -> SyncVectorEnv:
-    env_fns = []
-    for config in configs:
-        kwargs = ()
-        if config.max_steps_per_episode is not None:
-            kwargs = (("max_episode_steps", config.max_steps_per_episode),)
-        env_fns.append(EnvFactory(config.env_id, seed=config.seed, kwargs=kwargs))
-    # The trainer emits guaranteed-valid int64 actions every step, so the
-    # per-step validation of the batched path is pure overhead here.
-    return SyncVectorEnv(env_fns, validate=False)
+__all__ = ["supports_lockstep", "train_agents_lockstep"]
 
 
 def train_agents_lockstep(agents: Sequence[_ELMFamilyAgent],
@@ -158,6 +37,10 @@ def train_agents_lockstep(agents: Sequence[_ELMFamilyAgent],
                           venv: Optional[SyncVectorEnv] = None
                           ) -> List[TrainingResult]:
     """Train N independent trials in lock-step; returns one result per trial.
+
+    .. deprecated:: 1.4
+        Thin wrapper over :meth:`repro.training.Trainer.fit_lockstep` with
+        ``strategy="batched"`` (identical results).
 
     Parameters
     ----------
@@ -172,353 +55,16 @@ def train_agents_lockstep(agents: Sequence[_ELMFamilyAgent],
         Pre-built vector env (one sub-env per trial, in trial order).  Built
         from the configs' ``env_id``/seeds when omitted.
     """
-    _validate_batch(agents, configs)
-    n_trials = len(agents)
-    trials = [_Trial(agent, config) for agent, config in zip(agents, configs)]
-    if venv is None:
-        venv = _build_vector_env(configs)
-    if venv.num_envs != n_trials:
-        raise ValueError(f"vector env has {venv.num_envs} sub-envs for {n_trials} trials")
+    from repro.training.trainer import Trainer
 
-    shared = agents[0].config
-    n_in, n_hidden = shared.input_size, shared.n_hidden
-    n_states, n_actions = shared.n_states, shared.n_actions
-    activation = agents[0].model.activation
-    if venv.envs[0].n_observations != n_states:
-        raise ValueError(
-            f"env observations have {venv.envs[0].n_observations} dims but agents "
-            f"expect {n_states}"
-        )
-
-    # ---------------------------------------------------------------- stacked model state
-    alpha = np.stack([agent.model.alpha for agent in agents])       # (N, n_in, H)
-    bias = np.stack([agent.model.bias for agent in agents])         # (N, H)
-    beta = np.zeros((n_trials, n_hidden, 1))                        # (N, H, 1)
-    p_stack = np.zeros((n_trials, n_hidden, n_hidden))              # (N, H, H)
-    target_beta = np.zeros((n_trials, n_hidden, 1))                 # (N, H, 1)
-    has_beta = np.zeros(n_trials, dtype=bool)
-    any_beta = False                    #: event-maintained mirror of has_beta.any()
-
-    gamma = np.array([agent.config.gamma for agent in agents])
-    clip_targets = np.array([agent.config.clip_targets for agent in agents])
-    clip_low = np.array([agent.config.clip_low for agent in agents])
-    clip_high = np.array([agent.config.clip_high for agent in agents])
-
-    # Network-input buffer for the batched action sweep: the action block is
-    # constant, only the state slice changes each step.
-    sweep_inputs = np.empty((n_trials, n_actions, n_in))
-    if shared.one_hot_actions:
-        sweep_inputs[:, :, n_states:] = np.eye(n_actions)
-    else:
-        sweep_inputs[:, :, n_states] = np.arange(n_actions, dtype=float)
-    # The hidden tensor relu(encode(states) @ alpha + bias) of each step is
-    # computed once and reused three times: the epsilon-greedy sweep reads it
-    # against the online beta, the target bootstrap reads next-step rows
-    # against theta_2, and the Sherman-Morrison update extracts its input row
-    # as the chosen-action slice.  Two buffers ping-pong between "current" and
-    # "next" states.
-    hidden_a = np.empty((n_trials, n_actions, n_hidden))
-    hidden_b = np.empty((n_trials, n_actions, n_hidden))
-    q_buf = np.empty((n_trials, n_actions, 1))
-    q_zeros = np.zeros((n_trials, n_actions))
-    relu = activation.name == "relu"
-    uniform_clip = bool(clip_targets.all()) and np.unique(clip_low).size == 1 \
-        and np.unique(clip_high).size == 1
-    clip_lo_scalar, clip_hi_scalar = float(clip_low[0]), float(clip_high[0])
-
-    def compute_hidden(out: np.ndarray) -> np.ndarray:
-        """Hidden layers of all trials for the states currently in sweep_inputs."""
-        np.matmul(sweep_inputs, alpha, out=out)
-        out += bias[:, None, :]
-        if relu:
-            np.maximum(out, 0.0, out=out)
-        else:
-            out[:] = activation.forward(out)
-        return out
-
-    # The per-step epsilon-greedy and update-gate decisions are inlined from
-    # EpsilonGreedyPolicy.select / RandomUpdateGate.should_update: same RNG
-    # objects, same draw order, so trials stay bit-identical to the serial
-    # loop while skipping per-call validation overhead.
-    policies = [agent.policy for agent in agents]
-    gates = [getattr(agent, "update_gate", None) for agent in agents]
-
-    def sync_from_model(i: int) -> None:
-        """Copy a freshly initial-trained model's (beta, P, theta_2) into the stacks."""
-        nonlocal any_beta
-        model = agents[i].model
-        beta[i] = model.beta
-        if isinstance(model, OSELM) and model._recursive is not None:
-            p_stack[i] = model._recursive.p
-        if agents[i]._target_beta is not None:
-            target_beta[i] = agents[i]._target_beta
-        has_beta[i] = True
-        any_beta = True
-
-    def flush_to_model(i: int) -> None:
-        """Write the stacked (beta, P, theta_2) back into the trial's model."""
-        trial = trials[i]
-        if trial.delegate_observe or not trial.seq_phase:
-            return
-        model = agents[i].model
-        model.beta = beta[i].copy()
-        if isinstance(model, OSELM) and model._recursive is not None:
-            model._recursive.beta = model.beta
-            model._recursive.p = p_stack[i].copy()
-            model._recursive.updates = trial.n_applied_updates
-        agents[i]._target_beta = target_beta[i].copy()
-
-    def resync_after_reset(i: int) -> None:
-        """Mirror a stall-triggered weight reset (fresh alpha, cleared state)."""
-        nonlocal any_beta
-        model = agents[i].model
-        alpha[i] = model.alpha
-        bias[i] = model.bias
-        beta[i] = 0.0
-        p_stack[i] = 0.0
-        target_beta[i] = 0.0
-        has_beta[i] = False
-        any_beta = bool(has_beta.any())
-        trials[i].seq_phase = False
-        trials[i].n_applied_updates = 0
-
-    # ---------------------------------------------------------------- main loop
-    start_wall = time.perf_counter()
-    t_act = t_boot = t_update = 0.0
-    for i, agent in enumerate(agents):
-        agent.begin_episode(trials[i].episode)
-    states, _ = venv.reset()
-    actions = np.zeros(n_trials, dtype=np.int64)
-    active_indices = list(range(n_trials))
-    sweep_inputs[:, :, :n_states] = states[:, None, :]
-    hidden_cur = compute_hidden(hidden_a)
-    spare = hidden_b
-
-    while active_indices:
-        # ---- batched epsilon-greedy action sweep -------------------------
-        t0 = time.perf_counter()
-        if any_beta:
-            q_matrix = np.matmul(hidden_cur, beta, out=q_buf)[:, :, 0]   # (N, A)
-        else:
-            q_matrix = q_zeros
-        t_act += time.perf_counter() - t0
-        for i in active_indices:
-            trial = trials[i]
-            policy = policies[i]
-            if policy._rng.random() >= policy.greedy_probability:
-                policy.random_selections += 1
-                actions[i] = policy._rng.integers(n_actions)
-            else:
-                policy.greedy_selections += 1
-                row = q_matrix[i]
-                if n_actions == 2:
-                    actions[i] = 0 if row[0] >= row[1] else 1
-                else:
-                    actions[i] = np.argmax(row)
-            if trial.agent.initial_training_done:
-                trial.acts_seq += 1
-            else:
-                trial.acts_init += 1
-
-        # ---- vectorized environment step ---------------------------------
-        step = venv.step(actions)
-        t0 = time.perf_counter()
-        sweep_inputs[:, :, :n_states] = step.observations[:, None, :]
-        hidden_next = compute_hidden(spare)
-        t_act += time.perf_counter() - t0
-
-        # ---- observe: delegated (buffer/initial-training) and batched seq --
-        batched_updates: List[int] = []
-        update_rewards: List[float] = []
-        update_dones: List[bool] = []
-        finished: List[int] = []
-        terminated_flags = step.terminated.tolist()
-        truncated_flags = step.truncated.tolist()
-        for i in active_indices:
-            trial = trials[i]
-            agent = trial.agent
-            trial.steps += 1
-            term, trunc = terminated_flags[i], truncated_flags[i]
-            done = term or trunc
-            next_obs = (step.infos[i]["final_observation"] if done
-                        else step.observations[i])
-            if trial.config.reward_shaping:
-                reward = shaped_cartpole_reward(
-                    term, trunc, trial.steps,
-                    success_steps=trial.config.success_steps)
-            else:
-                reward = float(step.rewards[i])
-            trial.shaped_return += reward
-
-            if trial.delegate_observe or not trial.seq_phase:
-                agent.observe(states[i], actions[i], reward, next_obs, done)
-                if trial.delegate_observe:
-                    model_beta = agent.model.beta
-                    if model_beta is not None:
-                        beta[i] = model_beta
-                        has_beta[i] = True
-                        any_beta = True
-                elif agent.initial_training_done:
-                    trial.seq_phase = True
-                    sync_from_model(i)
-            else:
-                agent.global_step += 1
-                gate = gates[i]
-                if gate._rng.random() < gate.update_probability:
-                    gate.accepted += 1
-                    batched_updates.append(i)
-                    update_rewards.append(reward)
-                    update_dones.append(done)
-                else:
-                    gate.rejected += 1
-            if done:
-                finished.append(i)
-
-        if batched_updates:
-            idx = np.asarray(batched_updates)
-            # Clipped targets bootstrapped from the stacked theta_2 snapshots.
-            # Next-state hidden rows are the slices just computed for the next
-            # action sweep, except for episode ends, whose bootstrap state is
-            # the terminal observation rather than the auto-reset one.
-            t0 = time.perf_counter()
-            boot_hidden = np.empty((idx.size, n_actions, n_hidden))
-            for pos, i in enumerate(batched_updates):
-                if update_dones[pos]:
-                    # The target drops the bootstrap on terminal transitions
-                    # (q_learning_target's (1 - d_t) factor), so the terminal
-                    # state's hidden rows are never needed — zero-fill rather
-                    # than evaluate them.
-                    boot_hidden[pos] = 0.0
-                else:
-                    boot_hidden[pos] = hidden_next[i]
-            max_next = (boot_hidden @ target_beta[idx])[:, :, 0].max(axis=1)
-            not_done = 1.0 - np.asarray(update_dones, dtype=float)
-            targets = np.asarray(update_rewards) + gamma[idx] * not_done * max_next
-            if uniform_clip:
-                np.maximum(targets, clip_lo_scalar, out=targets)
-                np.minimum(targets, clip_hi_scalar, out=targets)
-            else:
-                clip_mask = clip_targets[idx]
-                targets[clip_mask] = np.clip(targets[clip_mask],
-                                             clip_low[idx][clip_mask],
-                                             clip_high[idx][clip_mask])
-            t_boot += time.perf_counter() - t0
-            # Sherman–Morrison rank-1 update of each gated trial's (P, beta),
-            # in place through views of the stacks (copying P in and out via
-            # fancy indexing would cost O(H^2) per update).  The input row is
-            # the chosen-action slice of the hidden tensor the action sweep
-            # already evaluated; the operation sequence per trial is exactly
-            # the serial sherman_morrison_update / beta_update pair.
-            t0 = time.perf_counter()
-            h = hidden_cur[idx, actions[idx]]                            # (U, H)
-            for pos, i in enumerate(batched_updates):
-                h_row = h[pos]
-                p_i = p_stack[i]
-                ph = p_i @ h_row
-                denom = 1.0 + float(h_row @ ph)
-                if denom <= 0:
-                    # The serial path raises LinAlgError here and the agent
-                    # skips the update (plain OS-ELM's instability).
-                    trials[i].agent.skipped_updates += 1
-                    continue
-                np.subtract(p_i, np.outer(ph, ph) / denom, out=p_i)
-                beta_col = beta[i, :, 0]
-                residual = targets[pos] - float(h_row @ beta_col)
-                beta_col += p_i @ (h_row * residual)
-                trials[i].n_applied_updates += 1
-            for i in idx:
-                trials[i].boots += 1
-                trials[i].sequps += 1
-            t_update += time.perf_counter() - t0
-
-        # ---- per-trial episode bookkeeping -------------------------------
-        for i in finished:
-            trial = trials[i]
-            agent = trial.agent
-            if trial.seq_phase and not trial.delegate_observe:
-                agent.episodes_completed += 1
-                if agent.episodes_completed % agent.config.target_update_interval == 0:
-                    target_beta[i] = beta[i]
-            else:
-                agent.end_episode(trial.episode)
-            now_solved = trial.criterion.update(trial.steps)
-            record = EpisodeRecord(
-                episode=trial.episode,
-                steps=trial.steps,
-                shaped_return=trial.shaped_return,
-                moving_average=trial.criterion.average,
+    if not agents:
+        raise ValueError("train_agents_lockstep needs at least one agent")
+    for agent in agents:
+        if not supports_lockstep(agent):
+            raise TypeError(
+                f"{type(agent).__name__} (model "
+                f"{type(getattr(agent, 'model', None)).__name__}) "
+                "cannot join a lock-step batch; route it through the serial or "
+                "process backend instead"
             )
-            if trial.config.record_lipschitz and hasattr(agent, "lipschitz_upper_bound"):
-                flush_to_model(i)
-                record.lipschitz_bound = agent.lipschitz_upper_bound()
-                if hasattr(agent, "beta_norm"):
-                    record.beta_norm = agent.beta_norm()
-            trial.curve.append(record)
-
-            if now_solved and trial.episodes_to_solve is None:
-                trial.episodes_to_solve = trial.episode
-                trial.solved = True
-                _LOGGER.info("task solved", design=agent.name, episode=trial.episode,
-                             n_hidden=agent.config.n_hidden)
-                if trial.config.stop_when_solved:
-                    trial.active = False
-                    continue
-            if hasattr(agent, "register_progress"):
-                resets_before = agent.weight_resets
-                agent.register_progress(now_solved)
-                if agent.weight_resets != resets_before:
-                    resync_after_reset(i)
-                    # The trial's alpha changed, so its next-step hidden rows
-                    # (already computed with the old weights) must be redone.
-                    pre = sweep_inputs[i] @ alpha[i] + bias[i]
-                    hidden_next[i] = (np.maximum(pre, 0.0) if relu
-                                      else activation.forward(pre))
-            if trial.episode >= trial.config.max_episodes:
-                trial.active = False
-                continue
-            trial.episode += 1
-            trial.steps = 0
-            trial.shaped_return = 0.0
-            agent.begin_episode(trial.episode)
-        if finished:
-            active_indices = [i for i in active_indices if trials[i].active]
-        states = step.observations
-        hidden_cur, spare = hidden_next, hidden_cur
-
-    wall_time = time.perf_counter() - start_wall
-
-    # ---------------------------------------------------------------- finalize
-    results: List[TrainingResult] = []
-    total_acts = sum(t.acts_init + t.acts_seq for t in trials) or 1
-    total_boots = sum(t.boots for t in trials) or 1
-    total_sequps = sum(t.sequps for t in trials) or 1
-    for i, trial in enumerate(trials):
-        flush_to_model(i)
-        agent = trial.agent
-        act_seconds = t_act * (trial.acts_init + trial.acts_seq) / total_acts
-        act_total = trial.acts_init + trial.acts_seq or 1
-        if trial.acts_init:
-            agent._record("predict_init", act_seconds * trial.acts_init / act_total,
-                          count=trial.acts_init * n_actions)
-        if trial.acts_seq:
-            agent._record("predict_seq", act_seconds * trial.acts_seq / act_total,
-                          count=trial.acts_seq * n_actions)
-        if trial.boots:
-            agent._record("predict_seq", t_boot * trial.boots / total_boots,
-                          count=trial.boots * n_actions)
-        if trial.sequps:
-            agent._record("seq_train", t_update * trial.sequps / total_sequps,
-                          count=trial.sequps)
-        results.append(TrainingResult(
-            design=agent.name,
-            n_hidden=int(agent.config.n_hidden),
-            solved=trial.solved,
-            episodes=len(trial.curve),
-            episodes_to_solve=trial.episodes_to_solve,
-            wall_time_seconds=wall_time,
-            curve=trial.curve,
-            breakdown=agent.breakdown,
-            weight_resets=getattr(agent, "weight_resets", 0),
-            seed=trial.config.seed,
-        ))
-    return results
+    return Trainer().fit_lockstep(agents, configs, venv=venv, strategy="batched")

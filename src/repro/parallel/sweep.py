@@ -11,21 +11,23 @@ backends, and aggregates the streamed
 Backends
 --------
 ``"vectorized"``
-    Groups compatible trials (same lock-step-capable design, env and hidden
-    size) and trains each group in lock-step through
-    :func:`~repro.parallel.lockstep.train_agents_lockstep` — batched agent
-    math plus the vectorized environment.  The winner whenever trials
-    outnumber cores, and the only way to go faster on a single core.
-    Designs the lock-step trainer cannot replay faithfully (DQN, FPGA, and
-    the unregularized OS-ELM variants — see
-    :func:`~repro.parallel.lockstep.supports_lockstep`) fall back to the
-    serial path within the same run.
+    Lock-step through :meth:`repro.training.Trainer.fit_lockstep`.
+    Compatible trials (same lock-step-capable design, env and hidden size)
+    train through the batched strategy — stacked agent math plus the
+    vectorized environment, the winner whenever trials outnumber cores.
+    Every other design (DQN, FPGA, the unregularized OS-ELM variants — see
+    :func:`~repro.training.strategies.supports_lockstep`) trains lock-step
+    too, through the generic per-agent strategy (vectorized env stepping,
+    per-agent math), so the whole grid advances in lock-step batches.
 ``"process"``
-    One :func:`~repro.rl.runner.train_agent` call per worker process via
-    :func:`~repro.parallel.pool.parallel_map`.  Scales with physical cores
-    and handles every design; per-task results are bit-identical to serial.
+    One serial :meth:`~repro.training.Trainer.fit` call per worker process
+    via :func:`~repro.parallel.pool.parallel_map`.  Scales with physical
+    cores and handles every design; per-task results are bit-identical to
+    serial.
 ``"serial"``
-    The plain loop, for debugging and baselines.
+    The plain loop, for debugging and baselines.  The only backend that
+    supports *mid-trial* checkpoint/resume (``checkpoint_every`` with a
+    ``store``).
 ``"distributed"``
     A TCP worker fleet behind :func:`repro.distributed.run_distributed_sweep`:
     tasks are served from a broker in this process to local auto-spawned
@@ -48,10 +50,9 @@ import numpy as np
 
 from repro.core.designs import design_spec, make_design
 from repro.experiments.reporting import format_table
-from repro.parallel.lockstep import train_agents_lockstep
 from repro.parallel.pool import parallel_map
-from repro.rl.recording import TrainingResult
-from repro.rl.runner import TrainingConfig, train_agent
+from repro.training.config import TrainingConfig
+from repro.training.records import TrainingResult
 from repro.utils.logging import get_logger
 from repro.utils.seeding import spawn_seeds
 
@@ -59,11 +60,13 @@ _LOGGER = get_logger("repro.parallel.sweep")
 
 
 def _design_supports_lockstep(design: str) -> bool:
-    """Mirror of :func:`repro.parallel.lockstep.supports_lockstep` on specs.
+    """Mirror of :func:`repro.training.strategies.supports_lockstep` on specs.
 
-    ELM always; OS-ELM only with the ridge term (the un-ridged recursive P
-    update amplifies batched-vs-serial BLAS rounding chaotically); never
-    DQN/FPGA.
+    Decides *batched* vs *generic* lock-step grouping: ELM always; OS-ELM
+    only with the ridge term (the un-ridged recursive P update amplifies
+    batched-vs-serial BLAS rounding chaotically); never DQN/FPGA.  Designs
+    outside the batched set still run lock-step — through the generic
+    per-agent strategy.
     """
     spec = design_spec(design)
     if spec.family == "elm":
@@ -145,10 +148,18 @@ class SweepSpec:
         return tasks
 
 
-def _run_sweep_task(task: SweepTask) -> TrainingResult:
-    """Module-level worker so the process backend can pickle it."""
+def _run_sweep_task(task: SweepTask, callbacks: Sequence = ()) -> TrainingResult:
+    """Module-level worker so the process backend can pickle it.
+
+    One serial :meth:`~repro.training.Trainer.fit` per task; ``callbacks``
+    (serial backend only — the process backend pickles the bare task) carry
+    progress streaming and mid-trial checkpointing.
+    """
+    from repro.training.trainer import Trainer
+
     agent = task.make_agent()
-    return train_agent(agent, config=task.training, n_hidden=task.n_hidden)
+    return Trainer(callbacks=callbacks).fit(agent, config=task.training,
+                                            n_hidden=task.n_hidden)
 
 
 @dataclass
@@ -159,11 +170,11 @@ class SweepResult:
     backend: str = "serial"
     wall_time_seconds: float = 0.0
     #: Execution path actually taken per entry, aligned with ``entries``:
-    #: ``"lockstep"``, ``"serial-fallback"`` (vectorized backend falling back
-    #: for non-batchable designs), ``"process"`` or ``"serial"``.  Makes the
-    #: sweep auditable: an unregularized OS-ELM silently routed around the
-    #: lock-step trainer shows up here rather than disappearing into an
-    #: aggregate.
+    #: ``"lockstep"`` (vectorized backend — batched or generic strategy),
+    #: ``"process"``, ``"serial"`` or ``"distributed"``.  Makes the sweep
+    #: auditable per trial rather than per aggregate.  (``"serial-fallback"``
+    #: disappeared in 1.4: the generic lock-step strategy now carries the
+    #: designs the batched strategy cannot replay, DQN and FPGA included.)
     backends_used: List[str] = field(default_factory=list)
 
     def add(self, task: SweepTask, result: TrainingResult,
@@ -283,13 +294,31 @@ class SweepRunner:
         local workers for the distributed backend; lock-step group size is
         the number of compatible trials, independent of this.
     store:
-        Distributed backend only: an :class:`~repro.api.store.ArtifactStore`
-        the broker checkpoints every finished trial into as it arrives, so
-        an interrupted sweep resumes from its last completed trial.
+        An :class:`~repro.api.store.ArtifactStore`.  Distributed backend:
+        the broker checkpoints every finished trial into it as it arrives.
+        Serial backend: enables *mid-trial* state checkpointing when
+        ``checkpoint_every`` is set.
     bind:
         Distributed backend only: ``"HOST:PORT"`` to accept external
         ``repro worker --connect`` processes instead of (or in addition to)
         the auto-spawned local fleet.
+    checkpoint_every:
+        Serial backend with a ``store``: persist the full mid-trial training
+        state every N episodes, so a killed run resumes *inside* a trial
+        (bit-for-bit) instead of retraining it.  0 disables (default).
+    resume_trial_state:
+        Serial backend: load an existing mid-trial state snapshot before
+        training (default).  ``False`` (the ``--no-resume`` contract)
+        discards any stale snapshot so the trial genuinely retrains;
+        checkpoints are still *written* when ``checkpoint_every`` is set.
+    lease_batch:
+        Distributed backend: tasks leased per worker ``GET`` (connection-
+        latency amortization on paper-scale grids).  Default 1 preserves
+        the classic one-task-per-request protocol.
+    progress_every:
+        Serial/vectorized backends: stream per-trial progress to stderr
+        every N episodes through a
+        :class:`~repro.training.callbacks.ProgressCallback`.  0 disables.
     """
 
     BACKENDS = ("auto", "vectorized", "process", "serial", "distributed")
@@ -297,9 +326,19 @@ class SweepRunner:
     def __init__(self, spec: Union[SweepSpec, Sequence[SweepTask]], *,
                  backend: str = "auto", max_workers: Optional[int] = None,
                  store: Optional[object] = None,
-                 bind: Optional[str] = None) -> None:
+                 bind: Optional[str] = None,
+                 checkpoint_every: int = 0,
+                 resume_trial_state: bool = True,
+                 lease_batch: int = 1,
+                 progress_every: int = 0) -> None:
         if backend not in self.BACKENDS:
             raise ValueError(f"unknown backend {backend!r}; choose from {self.BACKENDS}")
+        if checkpoint_every < 0:
+            raise ValueError("checkpoint_every must be >= 0")
+        if lease_batch < 1:
+            raise ValueError("lease_batch must be >= 1")
+        if progress_every < 0:
+            raise ValueError("progress_every must be >= 0")
         if not isinstance(spec, SweepSpec):
             tasks = list(spec)
             bad = [task for task in tasks if not isinstance(task, SweepTask)]
@@ -318,6 +357,10 @@ class SweepRunner:
         self.max_workers = max_workers
         self.store = store
         self.bind = bind
+        self.checkpoint_every = checkpoint_every
+        self.resume_trial_state = resume_trial_state
+        self.lease_batch = lease_batch
+        self.progress_every = progress_every
 
     def tasks(self) -> List[SweepTask]:
         """The task list this runner will execute, in grid order."""
@@ -343,7 +386,7 @@ class SweepRunner:
                 sweep.add(task, result, backend_used="process")
         elif self.backend == "serial":
             for task in tasks:
-                result = _run_sweep_task(task)
+                result = _run_sweep_task(task, callbacks=self._serial_callbacks(task))
                 if callback is not None:
                     callback(task, result)
                 sweep.add(task, result, backend_used="serial")
@@ -352,7 +395,8 @@ class SweepRunner:
 
             pairs = run_distributed_sweep(tasks, n_workers=self.max_workers,
                                           bind=self.bind, store=self.store,
-                                          callback=callback)
+                                          callback=callback,
+                                          lease_batch=self.lease_batch)
             for task, (result, backend_used) in zip(tasks, pairs):
                 sweep.add(task, result, backend_used=backend_used)
         else:
@@ -362,28 +406,56 @@ class SweepRunner:
                      seconds=round(sweep.wall_time_seconds, 2))
         return sweep
 
+    # ------------------------------------------------------------------ callbacks
+    def _progress_callbacks(self) -> list:
+        if not self.progress_every:
+            return []
+        from repro.training.callbacks import progress_to_stderr
+
+        return [progress_to_stderr(self.progress_every)]
+
+    def _serial_callbacks(self, task: SweepTask) -> list:
+        callbacks = self._progress_callbacks()
+        if self.store is not None and self.checkpoint_every:
+            from repro.training.callbacks import CheckpointCallback
+
+            if not self.resume_trial_state:
+                # --no-resume means retrain, full stop: a stale mid-trial
+                # snapshot must not sneak the old run's state back in.
+                self.store.clear_trial_state(task)
+            callbacks.append(CheckpointCallback(self.store, task,
+                                                every=self.checkpoint_every))
+        return callbacks
+
     # ------------------------------------------------------------------ vectorized
     def _run_vectorized(self, tasks: Sequence[SweepTask], sweep: SweepResult,
                         callback: Optional[Callable[[SweepTask, TrainingResult], None]]
                         ) -> None:
-        """Lock-step the batchable groups; run the rest serially."""
-        groups: Dict[Tuple[str, str, int], List[SweepTask]] = defaultdict(list)
-        leftovers: List[SweepTask] = []
+        """Everything lock-steps: batched strategy groups + generic groups.
+
+        Trials the batched strategy can replay faithfully group by
+        (design, env, hidden size); every other design — DQN, FPGA, the
+        unregularized OS-ELM variants — groups by environment and advances
+        through the generic per-agent strategy, so the whole grid reports
+        ``backend_used="lockstep"``.
+        """
+        from repro.training.trainer import Trainer
+
+        batched: Dict[Tuple[str, str, int], List[SweepTask]] = defaultdict(list)
+        generic: Dict[str, List[SweepTask]] = defaultdict(list)
         for task in tasks:
             if _design_supports_lockstep(task.design):
-                groups[(task.design, task.env_id, task.n_hidden)].append(task)
+                batched[(task.design, task.env_id, task.n_hidden)].append(task)
             else:
-                leftovers.append(task)
-        for group_tasks in groups.values():
+                generic[task.env_id].append(task)
+        plans = [(group_tasks, "batched") for group_tasks in batched.values()]
+        plans += [(group_tasks, "generic") for group_tasks in generic.values()]
+        for group_tasks, strategy in plans:
             agents = [task.make_agent() for task in group_tasks]
             configs = [task.training for task in group_tasks]
-            results = train_agents_lockstep(agents, configs)
+            trainer = Trainer(callbacks=self._progress_callbacks())
+            results = trainer.fit_lockstep(agents, configs, strategy=strategy)
             for task, result in zip(group_tasks, results):
                 if callback is not None:
                     callback(task, result)
                 sweep.add(task, result, backend_used="lockstep")
-        for task in leftovers:
-            result = _run_sweep_task(task)
-            if callback is not None:
-                callback(task, result)
-            sweep.add(task, result, backend_used="serial-fallback")

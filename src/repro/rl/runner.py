@@ -1,71 +1,33 @@
-"""The training loop implementing the paper's experimental protocol.
+"""Deprecated front door of the serial training loop.
 
-``train_agent`` runs Algorithm 1's outer loops (episodes × steps) for any
-agent implementing the :class:`~repro.core.agents.QLearningAgent` interface,
-with:
+``train_agent`` used to implement Algorithm 1's outer loops by hand; the
+loop now lives in :class:`repro.training.trainer.Trainer` (the one
+canonical loop shared with the lock-step and DQN paths) and this module is
+a thin compatibility wrapper.  Fixed-seed results are bit-for-bit identical
+to the historical implementation — the equivalence suite pins this against
+pre-refactor fixtures.
 
-* optional reward shaping so the clipped targets stay in [-1, 1] (the paper's
-  "maximum reward is 1 and minimum reward is -1" convention),
-* the 100-episode moving-average solved criterion (195 steps for CartPole-v0),
-* the 300-episode stall-reset rule applied to the ELM/OS-ELM designs,
-* the 50,000-episode "impossible" cutoff.
+New code should use::
+
+    from repro.training import Trainer, TrainingConfig
+    result = Trainer().fit(agent, config=TrainingConfig(...))
+
+``TrainingConfig`` itself moved to :mod:`repro.training.config` and is
+re-exported here unchanged.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass
 from typing import Optional, Union
 
 import numpy as np
 
 from repro.core.agents import QLearningAgent
-from repro.core.clipping import shaped_cartpole_reward
 from repro.envs.core import Env
-from repro.envs.registry import make as make_env
-from repro.rl.recording import EpisodeRecord, TrainingCurve, TrainingResult
-from repro.utils.logging import get_logger
-from repro.utils.metrics import SolvedCriterion
+from repro.training.config import TrainingConfig
+from repro.training.records import TrainingResult
+from repro.training.trainer import resolve_env as _resolve_env
 from repro.utils.seeding import spawn_seeds
-
-_LOGGER = get_logger("repro.rl.runner")
-
-
-@dataclass(frozen=True)
-class TrainingConfig:
-    """Protocol parameters for one training run (paper defaults)."""
-
-    env_id: str = "CartPole-v0"
-    max_episodes: int = 50_000            #: the paper's "impossible" cutoff
-    max_steps_per_episode: Optional[int] = None   #: None -> use the env's own limit
-    solved_threshold: float = 195.0
-    solved_window: int = 100
-    reward_shaping: bool = True           #: shape rewards into {-1, 0, +1}
-    success_steps: int = 195              #: survival length counted as success by the shaper
-    stop_when_solved: bool = True
-    record_lipschitz: bool = False        #: record the Lipschitz bound each episode (ablation A1)
-    seed: Optional[int] = None
-
-    def __post_init__(self) -> None:
-        if self.max_episodes <= 0:
-            raise ValueError("max_episodes must be positive")
-        if self.solved_window <= 0:
-            raise ValueError("solved_window must be positive")
-        if self.solved_threshold <= 0:
-            raise ValueError("solved_threshold must be positive")
-        if self.success_steps <= 0:
-            raise ValueError("success_steps must be positive")
-
-
-def _resolve_env(env: Union[str, Env, None], config: TrainingConfig) -> Env:
-    if env is None:
-        env = config.env_id
-    if isinstance(env, str):
-        kwargs = {}
-        if config.max_steps_per_episode is not None:
-            kwargs["max_episode_steps"] = config.max_steps_per_episode
-        return make_env(env, seed=config.seed, **kwargs)
-    return env
 
 
 def train_agent(agent: QLearningAgent, env: Union[str, Env, None] = None, *,
@@ -73,10 +35,16 @@ def train_agent(agent: QLearningAgent, env: Union[str, Env, None] = None, *,
                 n_hidden: Optional[int] = None) -> TrainingResult:
     """Train ``agent`` until the task is solved or the episode budget is exhausted.
 
+    .. deprecated:: 1.4
+        Thin wrapper over :meth:`repro.training.Trainer.fit` (identical
+        results; the Trainer additionally offers callbacks, action repeat
+        and mid-trial checkpointing).
+
     Parameters
     ----------
     agent:
-        Any agent implementing the QLearningAgent interface.
+        Any agent implementing the :class:`~repro.training.protocols.AgentProtocol`
+        interface.
     env:
         Environment instance, registered id, or ``None`` to build
         ``config.env_id``.
@@ -85,79 +53,10 @@ def train_agent(agent: QLearningAgent, env: Union[str, Env, None] = None, *,
     n_hidden:
         Recorded in the result for reporting; inferred from the agent's
         config when omitted.
-
-    Returns
-    -------
-    TrainingResult with the training curve, solved status and the
-    per-operation time breakdown accumulated by the agent.
     """
-    environment = _resolve_env(env, config)
-    if n_hidden is None:
-        n_hidden = getattr(getattr(agent, "config", None), "n_hidden", 0)
-    criterion = SolvedCriterion(config.solved_threshold, config.solved_window,
-                                config.max_episodes)
-    curve = TrainingCurve()
-    start_wall = time.perf_counter()
-    episodes_to_solve: Optional[int] = None
-    solved = False
+    from repro.training.trainer import Trainer
 
-    for episode in range(1, config.max_episodes + 1):
-        agent.begin_episode(episode)
-        state, _ = environment.reset()
-        steps = 0
-        shaped_return = 0.0
-        done = False
-        while not done:
-            action = agent.act(state)
-            result = environment.step(action)
-            steps += 1
-            if config.reward_shaping:
-                reward = shaped_cartpole_reward(result.terminated, result.truncated,
-                                                steps, success_steps=config.success_steps)
-            else:
-                reward = result.reward
-            shaped_return += reward
-            agent.observe(state, action, reward, result.observation, result.done)
-            state = result.observation
-            done = result.done
-        agent.end_episode(episode)
-
-        now_solved = criterion.update(steps)
-        record = EpisodeRecord(
-            episode=episode,
-            steps=steps,
-            shaped_return=shaped_return,
-            moving_average=criterion.average,
-        )
-        if config.record_lipschitz and hasattr(agent, "lipschitz_upper_bound"):
-            record.lipschitz_bound = agent.lipschitz_upper_bound()
-            if hasattr(agent, "beta_norm"):
-                record.beta_norm = agent.beta_norm()
-        curve.append(record)
-
-        if now_solved and episodes_to_solve is None:
-            episodes_to_solve = episode
-            solved = True
-            _LOGGER.info("task solved", design=agent.name, episode=episode,
-                         n_hidden=n_hidden)
-            if config.stop_when_solved:
-                break
-        if hasattr(agent, "register_progress"):
-            agent.register_progress(now_solved)
-
-    wall_time = time.perf_counter() - start_wall
-    return TrainingResult(
-        design=agent.name,
-        n_hidden=int(n_hidden),
-        solved=solved,
-        episodes=len(curve),
-        episodes_to_solve=episodes_to_solve,
-        wall_time_seconds=wall_time,
-        curve=curve,
-        breakdown=agent.breakdown,
-        weight_resets=getattr(agent, "weight_resets", 0),
-        seed=config.seed,
-    )
+    return Trainer().fit(agent, env, config=config, n_hidden=n_hidden)
 
 
 def evaluate_agent(agent: QLearningAgent, env: Union[str, Env, None] = None, *,
@@ -188,3 +87,6 @@ def evaluate_agent(agent: QLearningAgent, env: Union[str, Env, None] = None, *,
             done = result.done
         lengths[i] = steps
     return lengths
+
+
+__all__ = ["TrainingConfig", "evaluate_agent", "train_agent"]

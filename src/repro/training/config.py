@@ -1,0 +1,55 @@
+"""The training protocol configuration shared by every Trainer driver.
+
+Historically this lived in ``repro.rl.runner`` (which still re-exports it);
+it moved here when the serial, lock-step and DQN loops were unified under
+:class:`~repro.training.trainer.Trainer` so that the protocol's input
+language lives next to the loop that interprets it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class TrainingConfig:
+    """Protocol parameters for one training run (paper defaults).
+
+    ``action_repeat`` is the frame-skip factor: the agent picks an action
+    once per *decision point* and the environment advances up to that many
+    steps with it (stopping early at episode end), the agent observing one
+    aggregate transition.  The default of 1 is the paper's per-step protocol
+    and is bit-for-bit identical to the historical loops; values > 1 pair
+    with ``SubprocVectorEnv(steps_per_message=k)`` /
+    :class:`~repro.parallel.async_env.AsyncVectorEnv` so heavyweight envs
+    amortize one pipe round-trip over k physics steps inside a real
+    training loop.
+    """
+
+    env_id: str = "CartPole-v0"
+    max_episodes: int = 50_000            #: the paper's "impossible" cutoff
+    max_steps_per_episode: Optional[int] = None   #: None -> use the env's own limit
+    solved_threshold: float = 195.0
+    solved_window: int = 100
+    reward_shaping: bool = True           #: shape rewards into {-1, 0, +1}
+    success_steps: int = 195              #: survival length counted as success by the shaper
+    stop_when_solved: bool = True
+    record_lipschitz: bool = False        #: record the Lipschitz bound each episode (ablation A1)
+    action_repeat: int = 1                #: env steps per agent decision (frame skip)
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.max_episodes <= 0:
+            raise ValueError("max_episodes must be positive")
+        if self.solved_window <= 0:
+            raise ValueError("solved_window must be positive")
+        if self.solved_threshold <= 0:
+            raise ValueError("solved_threshold must be positive")
+        if self.success_steps <= 0:
+            raise ValueError("success_steps must be positive")
+        if self.action_repeat <= 0:
+            raise ValueError("action_repeat must be positive")
+
+
+__all__ = ["TrainingConfig"]

@@ -35,7 +35,9 @@ class TestEngine:
         assert serial.summary_rows() == vectorized.summary_rows()
         for a, b in zip(serial.results(), vectorized.results()):
             np.testing.assert_array_equal(a.curve.steps, b.curve.steps)
-        assert vectorized.backend_counts() == {"lockstep": 1, "serial-fallback": 1}
+        # Both designs lock-step now: OS-ELM-L2 through the batched strategy,
+        # unregularized OS-ELM through the generic per-agent strategy.
+        assert vectorized.backend_counts() == {"lockstep": 2}
 
     def test_trials_in_grid_order(self):
         spec = _tiny_spec(designs=("OS-ELM-L2", "OS-ELM"), hidden_sizes=(8, 16))
@@ -170,3 +172,52 @@ class TestCLI:
                               env={"PYTHONPATH": SRC, "PATH": "/usr/bin:/bin"})
         assert proc.returncode == 0, proc.stderr
         assert "figure4" in proc.stdout
+
+
+class TestPlotting:
+    def test_plot_report_is_graceful_without_matplotlib(self, tmp_path):
+        from repro.api.plotting import matplotlib_available, plot_report
+
+        report = run(_tiny_spec(name="plot-tiny"), backend="serial")
+        written = plot_report(report, tmp_path / "figs")
+        if matplotlib_available():   # pragma: no cover - env-dependent branch
+            assert written and all(path.exists() for path in written)
+        else:
+            assert written is None
+
+    def test_cli_plot_flag(self, tmp_path, capsys):
+        from repro.api.plotting import matplotlib_available
+
+        spec_path = tmp_path / "spec.json"
+        save_json(spec_path, _tiny_spec(name="plot-cli").to_json())
+        fig_dir = tmp_path / "figs"
+        # --plot is a bare flag (safe before or after the positional) and the
+        # directory travels separately via --plot-dir.
+        assert main(["run", "--plot", str(spec_path), "--out", str(tmp_path / "a"),
+                     "--plot-dir", str(fig_dir)]) == 0
+        out = capsys.readouterr().out
+        if matplotlib_available():   # pragma: no cover - env-dependent branch
+            assert "figure:" in out
+            assert list(fig_dir.glob("*.png"))
+        else:
+            assert "matplotlib is not installed" in out
+
+    def test_design_colors_are_entity_stable(self):
+        """Color follows the design, not its position in the current plot."""
+        from repro.api.plotting import design_color
+        from repro.core.designs import DESIGN_NAMES
+
+        colors = [design_color(design) for design in DESIGN_NAMES]
+        assert len(set(colors)) == len(colors)            # distinct slots
+        assert design_color("DQN") == design_color("DQN")  # stable mapping
+
+
+class TestProgressStreaming:
+    def test_progress_every_streams_to_stderr(self, tmp_path, capsys):
+        spec_path = tmp_path / "spec.json"
+        save_json(spec_path, _tiny_spec(name="progress-cli").to_json())
+        assert main(["run", str(spec_path), "--out", str(tmp_path / "a"),
+                     "--backend", "serial", "--progress-every", "2",
+                     "--quiet"]) == 0
+        err = capsys.readouterr().err
+        assert "episode 2:" in err and "done:" in err

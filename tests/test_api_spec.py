@@ -176,3 +176,55 @@ class TestRegistry:
             unregister_experiment("custom-alias")
         with pytest.raises(KeyError):
             get_spec("custom-test-spec")
+
+
+class TestSpecMaxWorkers:
+    def test_default_is_none_and_round_trips(self):
+        spec = ExperimentSpec(name="mw", designs=("ELM",), hidden_sizes=(8,))
+        assert spec.max_workers is None
+        hinted = ExperimentSpec(name="mw", designs=("ELM",), hidden_sizes=(8,),
+                                max_workers=3)
+        assert ExperimentSpec.from_json(hinted.to_json()).max_workers == 3
+        # Old spec JSONs (no max_workers key) still load.
+        legacy = spec.to_json()
+        legacy.pop("max_workers")
+        assert ExperimentSpec.from_json(legacy).max_workers is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_workers"):
+            ExperimentSpec(name="mw", designs=("ELM",), hidden_sizes=(8,),
+                           max_workers=0)
+
+    def test_execution_hint_excluded_from_content_hash(self):
+        """max_workers changes how fast a run executes, never what it
+        computes — two specs differing only in the hint must share one
+        content identity (run record, cached trials)."""
+        plain = ExperimentSpec(name="mw", designs=("ELM",), hidden_sizes=(8,))
+        hinted = ExperimentSpec(name="mw", designs=("ELM",), hidden_sizes=(8,),
+                                max_workers=3)
+        assert plain.spec_hash == hinted.spec_hash
+        assert "max_workers" not in plain.canonical_json()
+        # ...while the round-trippable JSON form still carries it.
+        assert hinted.to_json()["max_workers"] == 3
+
+    def test_engine_falls_back_to_spec_hint(self, monkeypatch):
+        """run(max_workers=None) must plumb the spec's own hint into the
+        SweepRunner; an explicit argument wins over the hint."""
+        from repro.api import engine as engine_module
+        from repro.api.spec import Budget
+
+        seen = []
+        real_runner = engine_module.SweepRunner
+
+        class _SpyRunner(real_runner):
+            def __init__(self, spec, **kwargs):
+                seen.append(kwargs.get("max_workers"))
+                super().__init__(spec, **kwargs)
+
+        monkeypatch.setattr(engine_module, "SweepRunner", _SpyRunner)
+        spec = ExperimentSpec(name="mw-hint", designs=("ELM",),
+                              hidden_sizes=(8,), budget=Budget(max_episodes=2),
+                              max_workers=2)
+        engine_module.run(spec, backend="serial")
+        engine_module.run(spec, backend="serial", max_workers=5)
+        assert seen == [2, 5]

@@ -1,0 +1,170 @@
+"""Mid-trial checkpointing: a killed run resumes inside a trial, bit-for-bit.
+
+The CheckpointCallback periodically pickles the Trainer's full serial state
+(agent, env, criterion, curve — every RNG stream included) into the
+artifact store; a later fit of the same trial restores it and continues.
+Because capture happens at episode boundaries with complete state, the
+resumed trajectory is byte-identical to the uninterrupted one — which is
+what lets ``repro run --paper --checkpoint-every N`` survive kills without
+perturbing the reproduction.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api import run as run_experiment
+from repro.api.spec import Budget, ExperimentSpec
+from repro.api.store import ArtifactStore
+from repro.training import Callback, CheckpointCallback, Trainer
+
+
+def _spec(**overrides):
+    defaults = dict(name="ckpt-tiny", designs=("OS-ELM-L2",), hidden_sizes=(8,),
+                    n_seeds=1, budget=Budget(max_episodes=8))
+    defaults.update(overrides)
+    return ExperimentSpec(**defaults)
+
+
+class _KillAfter(Callback):
+    """Simulates a mid-trial kill by raising after N finished episodes."""
+
+    class Killed(RuntimeError):
+        pass
+
+    def __init__(self, episodes):
+        self.episodes = episodes
+        self.seen = 0
+
+    def on_episode_end(self, trial, record):
+        self.seen += 1
+        if self.seen >= self.episodes:
+            raise self.Killed(f"simulated kill after episode {record.episode}")
+
+
+class TestStoreTrialState:
+    def test_state_roundtrip_and_clear(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        task = _spec().tasks()[0]
+        assert store.load_trial_state(task) is None
+        store.save_trial_state(task, b"blob-1")
+        assert store.load_trial_state(task) == b"blob-1"
+        store.save_trial_state(task, b"blob-2")         # overwrite is atomic
+        assert store.load_trial_state(task) == b"blob-2"
+        store.clear_trial_state(task)
+        assert store.load_trial_state(task) is None
+        store.clear_trial_state(task)                   # idempotent
+
+    def test_finished_trial_supersedes_state(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        task = _spec().tasks()[0]
+        store.save_trial_state(task, b"stale")
+        result = Trainer().fit(task.make_agent(), config=task.training,
+                               n_hidden=task.n_hidden)
+        store.save_trial(task, result, backend_used="serial")
+        assert store.load_trial_state(task) is None
+
+
+class TestTrainerMidTrialResume:
+    def test_killed_run_resumes_bit_for_bit(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        task = _spec(budget=Budget(max_episodes=10)).tasks()[0]
+
+        uninterrupted = Trainer().fit(task.make_agent(), config=task.training)
+
+        killer = _KillAfter(5)
+        checkpoint = CheckpointCallback(store, task, every=2)
+        with pytest.raises(_KillAfter.Killed):
+            Trainer(callbacks=[checkpoint, killer]).fit(
+                task.make_agent(), config=task.training)
+        assert checkpoint.saves >= 1
+        assert store.load_trial_state(task) is not None
+
+        resumed = Trainer(callbacks=[CheckpointCallback(store, task, every=2)]
+                          ).fit(task.make_agent(), config=task.training)
+        np.testing.assert_array_equal(uninterrupted.curve.steps,
+                                      resumed.curve.steps)
+        assert [r.shaped_return for r in uninterrupted.curve.records] \
+            == [r.shaped_return for r in resumed.curve.records]
+        assert [r.moving_average for r in uninterrupted.curve.records] \
+            == [r.moving_average for r in resumed.curve.records]
+        assert uninterrupted.solved == resumed.solved
+        assert uninterrupted.episodes_to_solve == resumed.episodes_to_solve
+        # The finished run retires its mid-trial state.
+        assert store.load_trial_state(task) is None
+
+    def test_checkpoint_hook_fires(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        task = _spec().tasks()[0]
+
+        class _CountCheckpoints(Callback):
+            count = 0
+
+            def on_checkpoint(self, trial):
+                type(self).count += 1
+
+        counter = _CountCheckpoints()
+        Trainer(callbacks=[CheckpointCallback(store, task, every=3), counter]
+                ).fit(task.make_agent(), config=task.training)
+        assert counter.count >= 1
+
+    def test_corrupt_state_reads_as_fresh_start(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        task = _spec().tasks()[0]
+        store.save_trial_state(task, b"\x00not-a-pickle")
+        clean = Trainer().fit(task.make_agent(), config=task.training)
+        recovered = Trainer(callbacks=[CheckpointCallback(store, task, every=4)]
+                            ).fit(task.make_agent(), config=task.training)
+        np.testing.assert_array_equal(clean.curve.steps, recovered.curve.steps)
+
+
+class TestEngineMidTrialResume:
+    def test_repro_run_resumes_mid_trial_with_identical_csv(self, tmp_path):
+        """The CI contract: kill a `repro run` mid-trial, rerun it, and the
+        summary CSV is byte-identical to an uninterrupted run's."""
+        spec = _spec(budget=Budget(max_episodes=10))
+        reference = run_experiment(spec, backend="serial")
+
+        store = ArtifactStore(tmp_path / "store")
+        task = spec.tasks()[0]
+        with pytest.raises(_KillAfter.Killed):
+            Trainer(callbacks=[CheckpointCallback(store, task, every=2),
+                               _KillAfter(5)]).fit(
+                task.make_agent(), config=task.training)
+        assert store.load_trial_state(task) is not None   # genuinely mid-trial
+
+        resumed = run_experiment(spec, backend="serial", store=store,
+                                 checkpoint_every=2)
+        assert resumed.executed_count == 1                # trial completed now
+        assert resumed.summary_csv() == reference.summary_csv()
+        np.testing.assert_array_equal(reference.results()[0].curve.steps,
+                                      resumed.results()[0].curve.steps)
+
+        # And a third run is a pure cache hit.
+        cached = run_experiment(spec, backend="serial", store=store)
+        assert cached.executed_count == 0
+        assert cached.summary_csv() == reference.summary_csv()
+
+    def test_no_resume_discards_stale_mid_trial_state(self, tmp_path):
+        """`--no-resume` means retrain, full stop: a stale mid-trial state
+        snapshot must be discarded, not silently resumed from."""
+        spec = _spec(budget=Budget(max_episodes=10))
+        reference = run_experiment(spec, backend="serial")
+
+        store = ArtifactStore(tmp_path / "store")
+        task = spec.tasks()[0]
+        with pytest.raises(_KillAfter.Killed):
+            Trainer(callbacks=[CheckpointCallback(store, task, every=2),
+                               _KillAfter(5)]).fit(
+                task.make_agent(), config=task.training)
+        assert store.load_trial_state(task) is not None
+
+        retrained = run_experiment(spec, backend="serial", store=store,
+                                   resume=False, checkpoint_every=2)
+        assert retrained.executed_count == 1
+        # Identical outcome proves a genuine from-scratch retrain (fixed
+        # seeds): a resume would also match, so additionally assert the
+        # stale snapshot was cleared before training started (it was
+        # replaced only by this run's own checkpoints, which the finished
+        # trial then retires).
+        assert retrained.summary_csv() == reference.summary_csv()
+        assert store.load_trial_state(task) is None

@@ -36,8 +36,9 @@ class _ScriptedWorker:
         assert kind == protocol.WELCOME
         self.announced_tasks = info["tasks"]
 
-    def get(self):
-        protocol.send_message(self.sock, protocol.GET)
+    def get(self, capacity=None):
+        """GET with an advertised lease capacity (None = pre-1.4 worker)."""
+        protocol.send_message(self.sock, protocol.GET, capacity)
         return protocol.recv_message(self.sock)
 
     def send_result(self, index, result="result", backend="distributed"):
@@ -250,3 +251,101 @@ class TestProtocolHelpers:
                 protocol.recv_message(right)
         finally:
             right.close()
+
+
+class TestLeaseBatching:
+    def test_lease_batch_serves_k_tasks_per_get(self):
+        with SweepBroker(_tiny_tasks(3), lease_batch=2) as broker:
+            worker = _ScriptedWorker(broker)
+            kind, leased = worker.get(capacity=8)
+            assert kind == protocol.TASKS
+            assert [index for index, _ in leased] == [0, 1]
+            # Each leased task is an independent lease with its own result.
+            assert worker.send_result(0, result="r0") is True
+            assert worker.send_result(1, result="r1") is True
+            kind, leased = worker.get(capacity=8)  # tail batch may be short
+            assert kind == protocol.TASKS
+            assert [index for index, _ in leased] == [2]
+            assert worker.send_result(2, result="r2") is True
+            kind, _ = worker.get(capacity=8)
+            assert kind == protocol.SHUTDOWN
+            assert [r for r, _ in broker.results()] == ["r0", "r1", "r2"]
+            worker.close()
+
+    def test_pre_batching_worker_gets_classic_task_frames(self):
+        """Capability negotiation: a worker that does not advertise a lease
+        capacity (a pre-1.4 `repro worker`) must keep receiving one TASK
+        frame per GET even from a batching broker."""
+        with SweepBroker(_tiny_tasks(2), lease_batch=4) as broker:
+            legacy = _ScriptedWorker(broker, worker_id="legacy")
+            for expected_index in (0, 1):
+                kind, (index, _task) = legacy.get()      # None capacity
+                assert kind == protocol.TASK and index == expected_index
+                legacy.send_result(index, result=f"r{index}")
+            assert broker.join(timeout=1.0)
+            legacy.close()
+
+    def test_capacity_caps_batch_below_broker_lease_batch(self):
+        with SweepBroker(_tiny_tasks(3), lease_batch=3) as broker:
+            worker = _ScriptedWorker(broker)
+            kind, leased = worker.get(capacity=2)
+            assert kind == protocol.TASKS and len(leased) == 2
+            for index, _ in leased:
+                worker.send_result(index, result=f"r{index}")
+            kind, payload = worker.get(capacity=1)       # single-task request
+            assert kind == protocol.TASK
+            worker.send_result(payload[0], result="r-last")
+            assert broker.join(timeout=1.0)
+            worker.close()
+
+    def test_lease_batch_one_keeps_classic_task_frames(self):
+        with SweepBroker(_tiny_tasks(1), lease_batch=1) as broker:
+            worker = _ScriptedWorker(broker)
+            kind, payload = worker.get()
+            assert kind == protocol.TASK           # wire-compatible default
+            worker.send_result(payload[0], result="r")
+            worker.close()
+            assert broker.join(timeout=1.0)
+
+    def test_worker_death_mid_batch_requeues_unfinished_leases(self):
+        with SweepBroker(_tiny_tasks(3), lease_batch=3) as broker:
+            doomed = _ScriptedWorker(broker, worker_id="doomed")
+            kind, leased = doomed.get(capacity=8)
+            assert kind == protocol.TASKS and len(leased) == 3
+            doomed.send_result(0, result="done-before-death")
+            doomed.close()                          # dies holding tasks 1, 2
+            _wait_until(lambda: broker.requeued_tasks == 2,
+                        message="unfinished leases requeued")
+            survivor = _ScriptedWorker(broker, worker_id="survivor")
+            kind, leased = survivor.get(capacity=8)
+            assert kind == protocol.TASKS
+            assert {index for index, _ in leased} == {1, 2}
+            for index, _ in leased:
+                survivor.send_result(index, result=f"retry-{index}")
+            assert broker.join(timeout=1.0)
+            results = [r for r, _ in broker.results()]
+            assert results == ["done-before-death", "retry-1", "retry-2"]
+            survivor.close()
+
+    def test_lease_batch_validation(self):
+        with pytest.raises(ValueError, match="lease_batch"):
+            SweepBroker(_tiny_tasks(1), lease_batch=0)
+
+    def test_end_to_end_lease_batched_sweep_matches_serial(self):
+        """Real worker fleet pulling k=2 task batches converges to the
+        bit-identical serial outcome (the worker executes each task through
+        the unchanged serial trainer)."""
+        import numpy as np
+
+        from repro.parallel.sweep import SweepRunner
+
+        spec = SweepSpec(designs=("OS-ELM-L2",), n_seeds=3, n_hidden=8,
+                         training=TrainingConfig(max_episodes=4), root_seed=31)
+        serial = SweepRunner(spec, backend="serial").run()
+        batched = SweepRunner(spec, backend="distributed", max_workers=2,
+                              lease_batch=2).run()
+        assert set(batched.backends_used) == {"distributed"}
+        for serial_result, dist_result in zip(serial.results_for(),
+                                              batched.results_for()):
+            np.testing.assert_array_equal(serial_result.curve.steps,
+                                          dist_result.curve.steps)

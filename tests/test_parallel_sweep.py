@@ -208,19 +208,20 @@ class TestSweepRunner:
 
     def test_backend_used_recorded_per_trial(self):
         """The vectorized backend must audit which path each trial took:
-        lockstep for the batchable designs, serial-fallback for the rest."""
+        since 1.4 every design lock-steps — OS-ELM-L2 through the batched
+        strategy and unregularized OS-ELM through the generic per-agent
+        strategy, both recorded as "lockstep"."""
         spec = SweepSpec(designs=("OS-ELM-L2", "OS-ELM"), n_seeds=2, n_hidden=8,
                          training=TrainingConfig(max_episodes=4), root_seed=8)
         sweep = SweepRunner(spec, backend="vectorized").run()
         assert len(sweep.backends_used) == len(sweep.entries) == 4
         for (task, _), backend_used in zip(sweep.entries, sweep.backends_used):
-            expected = "lockstep" if task.design == "OS-ELM-L2" else "serial-fallback"
-            assert backend_used == expected
-            assert sweep.backend_for(task) == expected
-        assert sweep.backend_counts() == {"lockstep": 2, "serial-fallback": 2}
+            assert backend_used == "lockstep"
+            assert sweep.backend_for(task) == "lockstep"
+        assert sweep.backend_counts() == {"lockstep": 4}
         rows = {row["design"]: row for row in sweep.summary_rows()}
         assert rows["OS-ELM-L2"]["backend_used"] == "lockstep"
-        assert rows["OS-ELM"]["backend_used"] == "serial-fallback"
+        assert rows["OS-ELM"]["backend_used"] == "lockstep"
         serial = SweepRunner(spec, backend="serial").run()
         assert set(serial.backends_used) == {"serial"}
 
