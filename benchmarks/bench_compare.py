@@ -1,0 +1,89 @@
+"""Diff a fresh bench JSON against the committed ``BENCH_parallel.json``.
+
+The committed snapshot (generated with
+``bench_parallel_throughput.py --smoke --json benchmarks/BENCH_parallel.json``)
+pins two things:
+
+* the **schema** — a fresh run must report the same backends and the same
+  document shape, so a refactor cannot silently drop a measured engine;
+* a **collapse tripwire** — each backend's steps/sec must stay above
+  ``--min-ratio`` (default 0.2) of the committed rate.  CI machines are
+  noisy and share cores, so this is deliberately generous: it catches a
+  10x regression (an accidentally serialized vectorized path, a busy-wait
+  in the broker), not a 10% one.  Absolute rates are machine-dependent
+  and are *not* asserted.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_parallel_throughput.py --smoke \\
+        --json /tmp/bench_fresh.json
+    python benchmarks/bench_compare.py /tmp/bench_fresh.json
+
+Exit code 0 on pass, 1 with a per-backend report on failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+BASELINE = Path(__file__).resolve().parent / "BENCH_parallel.json"
+
+
+def compare(fresh_path: str, baseline_path: str, min_ratio: float) -> int:
+    fresh = json.loads(Path(fresh_path).read_text(encoding="utf-8"))
+    baseline = json.loads(Path(baseline_path).read_text(encoding="utf-8"))
+    problems = []
+
+    missing_keys = set(baseline) - set(fresh)
+    if missing_keys:
+        problems.append(f"fresh document lost top-level keys: "
+                        f"{sorted(missing_keys)}")
+
+    base_rates = baseline.get("steps_per_sec", {})
+    fresh_rates = fresh.get("steps_per_sec", {})
+    missing = set(base_rates) - set(fresh_rates)
+    if missing:
+        problems.append(f"fresh run no longer measures: {sorted(missing)}")
+
+    print(f"{'backend':<16} {'baseline':>12} {'fresh':>12} {'ratio':>8}")
+    for name in sorted(set(base_rates) & set(fresh_rates)):
+        base, now = float(base_rates[name]), float(fresh_rates[name])
+        ratio = now / base if base else float("inf")
+        flag = "" if ratio >= min_ratio else "  <-- COLLAPSED"
+        print(f"{name:<16} {base:>12.1f} {now:>12.1f} {ratio:>8.2f}{flag}")
+        if ratio < min_ratio:
+            problems.append(
+                f"{name}: {now:.0f} steps/s is below {min_ratio:.0%} of the "
+                f"committed {base:.0f} steps/s")
+
+    if fresh.get("sync_subproc_identical") is not True:
+        problems.append("sync/subproc trajectory identity no longer holds")
+
+    if problems:
+        print("\nbench comparison FAILED:")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    print(f"\nall backends within {min_ratio:.0%} tripwire of "
+          f"{baseline_path}: OK")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("fresh", help="bench JSON produced by this run")
+    parser.add_argument("--baseline", default=str(BASELINE),
+                        help="committed snapshot to diff against")
+    parser.add_argument("--min-ratio", type=float, default=0.2,
+                        help="minimum fresh/baseline steps-per-sec ratio "
+                             "(default 0.2: a collapse tripwire, not a "
+                             "noise-level gate)")
+    args = parser.parse_args(argv)
+    return compare(args.fresh, args.baseline, args.min_ratio)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

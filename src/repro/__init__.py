@@ -74,6 +74,7 @@ from repro.parallel import (
     train_agents_lockstep,
 )
 from repro.distributed import SweepBroker, run_distributed_sweep, run_worker
+from repro import telemetry
 from repro.api import (
     ArtifactStore,
     Budget,
@@ -85,7 +86,7 @@ from repro.api import (
 )
 from repro.api import run as run_experiment
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "AgentConfig",
@@ -139,5 +140,6 @@ __all__ = [
     "list_experiments",
     "register_experiment",
     "run_experiment",
+    "telemetry",
     "__version__",
 ]

@@ -21,6 +21,11 @@ Subcommands
     Join a distributed sweep as a worker: pull tasks from the broker that
     ``repro run --backend distributed --bind HOST:PORT`` published, train
     them through the serial code path, and stream results back.
+``repro fleet status --connect HOST:PORT [--watch] [--json]``
+    Query a live broker's ``STATS`` channel: tasks queued/leased/done,
+    per-worker liveness and lease age, requeue/dedup/backpressure counters.
+    ``--watch`` refreshes every ``--interval`` seconds; ``--json`` prints
+    the raw snapshot for scripts.
 
 The summary table printed by ``run``/``report`` is identical to what the
 legacy harnesses rendered, and ``--csv`` writes the same rows as CSV — the
@@ -105,13 +110,19 @@ def _store_root(args: argparse.Namespace) -> str:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.distributed.preflight import PreflightError
+
     spec = _resolve_spec(args.experiment, "ci" if args.ci else "paper")
     workers = args.workers if args.workers is not None else args.max_workers
-    report = run(spec, backend=args.backend, out=_store_root(args),
-                 resume=not args.no_resume, max_workers=workers,
-                 bind=args.bind, checkpoint_every=args.checkpoint_every,
-                 lease_batch=args.lease_batch,
-                 progress_every=args.progress_every)
+    try:
+        report = run(spec, backend=args.backend, out=_store_root(args),
+                     resume=not args.no_resume, max_workers=workers,
+                     bind=args.bind, checkpoint_every=args.checkpoint_every,
+                     lease_batch=args.lease_batch,
+                     progress_every=args.progress_every)
+    except PreflightError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     return _finish(report, args)
 
 
@@ -132,6 +143,46 @@ def _cmd_worker(args: argparse.Namespace) -> int:
         return 2
     print(f"worker done: {completed} trials completed")
     return 0
+
+
+def _cmd_fleet_status(args: argparse.Namespace) -> int:
+    import json
+    import time as _time
+
+    from repro.distributed import parse_address
+    from repro.telemetry.fleet import (
+        FleetStatusError,
+        fetch_fleet_stats,
+        format_fleet_status,
+    )
+
+    try:
+        host, port = parse_address(args.connect)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    while True:
+        try:
+            snapshot = fetch_fleet_stats(host, port, timeout=args.timeout)
+        except FleetStatusError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        if args.json:
+            print(json.dumps(snapshot, indent=2, sort_keys=True))
+        else:
+            print(format_fleet_status(snapshot))
+        if not args.watch:
+            return 0
+        done = snapshot.get("tasks", {}).get("done")
+        total = snapshot.get("tasks", {}).get("total")
+        if done is not None and done == total:
+            return 0
+        try:
+            _time.sleep(args.interval)
+        except KeyboardInterrupt:
+            return 0
+        if not args.json:
+            print()
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -222,6 +273,24 @@ def build_parser() -> argparse.ArgumentParser:
                         help="exit after completing N tasks (default: serve "
                              "until the broker shuts the sweep down)")
     worker.set_defaults(handler=_cmd_worker)
+
+    fleet = commands.add_parser(
+        "fleet", help="observe a running distributed sweep")
+    fleet_commands = fleet.add_subparsers(dest="fleet_command", required=True)
+    status = fleet_commands.add_parser(
+        "status", help="query a live broker's STATS channel")
+    status.add_argument("--connect", required=True, metavar="HOST:PORT",
+                        help="broker address published by "
+                             "`repro run --backend distributed --bind ...`")
+    status.add_argument("--watch", action="store_true",
+                        help="refresh until the sweep completes (Ctrl-C to stop)")
+    status.add_argument("--interval", type=float, default=2.0, metavar="S",
+                        help="seconds between --watch refreshes (default: 2)")
+    status.add_argument("--json", action="store_true",
+                        help="print the raw STATS snapshot as JSON")
+    status.add_argument("--timeout", type=float, default=5.0, metavar="S",
+                        help="per-query socket timeout (default: 5)")
+    status.set_defaults(handler=_cmd_fleet_status)
     return parser
 
 

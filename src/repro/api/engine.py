@@ -188,6 +188,16 @@ def run(spec_or_name: Union[str, ExperimentSpec], *, backend: str = "auto",
 
     # ---- execute misses through the one sweep engine ---------------------
     if misses:
+        if backend == "distributed":
+            # Catch bad bind addresses / unwritable stores / silly worker
+            # counts before any broker thread or worker process exists —
+            # a PreflightError here beats a socket traceback mid-sweep.
+            from repro.distributed.preflight import run_preflight
+
+            run_preflight(
+                bind=bind,
+                store_root=str(store.root) if store is not None else None,
+                workers=max_workers)
         _LOGGER.info("run started", spec=spec.name, backend=backend,
                      trials=len(tasks), cached=len(tasks) - len(misses))
         # Trials are checkpointed the moment they finish, not when the sweep
@@ -221,6 +231,12 @@ def run(spec_or_name: Union[str, ExperimentSpec], *, backend: str = "auto",
         store.save_run(spec, [trial_key(task) for task in tasks],
                        backend=backend,
                        backends_used=[r.backend_used for r in report.trials])
+        from repro import telemetry
+
+        if telemetry.enabled():
+            # runs/<spec_hash>.telemetry.json — this process's metrics, span
+            # tree and transport traffic, next to the run record.
+            store.save_telemetry(spec.spec_hash, telemetry.snapshot())
     _LOGGER.info("run finished", spec=spec.name,
                  seconds=round(report.wall_time_seconds, 2),
                  cached=report.cached_count, executed=report.executed_count)

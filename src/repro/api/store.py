@@ -238,6 +238,21 @@ class ArtifactStore:
         except (FileNotFoundError, json.JSONDecodeError, OSError):
             return None
 
+    # ------------------------------------------------------------------ telemetry
+    def telemetry_path(self, spec_hash: str) -> Path:
+        return self.root / "runs" / f"{spec_hash}.telemetry.json"
+
+    def save_telemetry(self, spec_hash: str,
+                       snapshot: Dict[str, Any]) -> Path:
+        """Persist one run's telemetry snapshot next to its run record."""
+        return save_json(self.telemetry_path(spec_hash), snapshot)
+
+    def load_telemetry(self, spec_hash: str) -> Optional[Dict[str, Any]]:
+        try:
+            return load_json(self.telemetry_path(spec_hash))
+        except (FileNotFoundError, json.JSONDecodeError, OSError):
+            return None
+
     def __repr__(self) -> str:
         return f"ArtifactStore(root={str(self.root)!r})"
 

@@ -23,7 +23,8 @@ from repro.distributed.coordinator import (
     run_distributed_sweep,
     spawn_local_workers,
 )
-from repro.distributed.protocol import parse_address
+from repro.distributed.preflight import PreflightError, run_preflight
+from repro.distributed.protocol import parse_address, transport_counters
 from repro.distributed.worker import (
     DISTRIBUTED_BACKEND,
     WorkerOptions,
@@ -35,12 +36,15 @@ from repro.distributed.worker import (
 __all__ = [
     "DEFAULT_HEARTBEAT_TIMEOUT",
     "DISTRIBUTED_BACKEND",
+    "PreflightError",
     "SweepBroker",
     "WorkerOptions",
     "default_worker_id",
     "execute_task",
     "parse_address",
     "run_distributed_sweep",
+    "run_preflight",
     "run_worker",
     "spawn_local_workers",
+    "transport_counters",
 ]

@@ -56,14 +56,15 @@ class _Lease:
     apart from the current holder's and never touch the live lease.
     """
 
-    __slots__ = ("index", "worker_id", "deadline", "owner")
+    __slots__ = ("index", "worker_id", "deadline", "owner", "leased_at")
 
     def __init__(self, index: int, worker_id: str, deadline: float,
-                 owner: Set[int]) -> None:
+                 owner: Set[int], leased_at: float) -> None:
         self.index = index
         self.worker_id = worker_id
         self.deadline = deadline
         self.owner = owner
+        self.leased_at = leased_at
 
 
 class SweepBroker:
@@ -134,10 +135,15 @@ class SweepBroker:
         #: Observability counters (read under no lock; monotonic, test-facing).
         self.duplicate_results = 0
         self.requeued_tasks = 0
+        self.wait_replies = 0
         self.workers_seen: Set[str] = set()
         #: Currently connected worker connections (registered or not) — lets
         #: the coordinator distinguish "fleet crashed" from "externals serving".
         self.active_connections = 0
+        #: Per-worker liveness/accounting behind the STATS channel:
+        #: ``worker_id -> {connected, last_seen (monotonic), completed}``.
+        #: Observer connections (``repro fleet status``) never appear here.
+        self._workers: Dict[str, Dict[str, object]] = {}
 
         self._server: Optional[socket.socket] = None
         self._threads: List[threading.Thread] = []
@@ -242,6 +248,7 @@ class SweepBroker:
     def _serve_worker(self, connection: socket.socket) -> None:
         """Per-connection loop: answer GET/RESULT, absorb heartbeats."""
         worker_id = "<unregistered>"
+        is_observer = False
         held: Set[int] = set()          # leases owned by this connection
         with self._lock:
             self.active_connections += 1
@@ -254,21 +261,42 @@ class SweepBroker:
                         break
                     if kind == protocol.HELLO:
                         worker_id = str(payload)
-                        self.workers_seen.add(worker_id)
+                        is_observer = worker_id.startswith(
+                            protocol.OBSERVER_PREFIX)
+                        if not is_observer:
+                            self.workers_seen.add(worker_id)
+                            with self._lock:
+                                self._workers[worker_id] = {
+                                    "connected": True,
+                                    "last_seen": time.monotonic(),
+                                    "completed": 0,
+                                }
+                        # "stats": True advertises the STATS channel; pre-1.5
+                        # workers only read info["tasks"] and ignore the rest.
                         protocol.send_message(connection, protocol.WELCOME,
-                                              {"tasks": len(self.tasks)})
-                    elif kind == protocol.HEARTBEAT:
+                                              {"tasks": len(self.tasks),
+                                               "stats": True})
+                        continue
+                    if not is_observer and worker_id in self._workers:
+                        self._workers[worker_id]["last_seen"] = time.monotonic()
+                    if kind == protocol.HEARTBEAT:
                         self._extend_leases(held)
                     elif kind == protocol.GET:
                         self._handle_get(connection, worker_id, held, payload)
                     elif kind == protocol.RESULT:
-                        self._handle_result(connection, payload, held)
+                        self._handle_result(connection, payload, held, worker_id)
+                    elif kind == protocol.STATS:
+                        protocol.send_message(connection, protocol.STATS,
+                                              self.stats_snapshot())
                     else:
                         raise protocol.ProtocolError(
                             f"unexpected frame {kind!r} from worker")
         finally:
             with self._lock:
                 self.active_connections -= 1
+                info = self._workers.get(worker_id)
+                if info is not None:
+                    info["connected"] = False
             self._requeue_held(held, worker_id)
 
     def _handle_get(self, connection: socket.socket, worker_id: str,
@@ -283,10 +311,12 @@ class SweepBroker:
                 reply = (protocol.SHUTDOWN, None)
             elif self._pending:
                 leased: List[Tuple[int, SweepTask]] = []
-                deadline = time.monotonic() + self.heartbeat_timeout
+                now = time.monotonic()
+                deadline = now + self.heartbeat_timeout
                 while self._pending and len(leased) < batch:
                     index = self._pending.popleft()
-                    self._leases[index] = _Lease(index, worker_id, deadline, held)
+                    self._leases[index] = _Lease(index, worker_id, deadline,
+                                                 held, now)
                     held.add(index)
                     leased.append((index, self.tasks[index]))
                 if batch == 1:
@@ -295,9 +325,11 @@ class SweepBroker:
                     reply = (protocol.TASKS, leased)
             else:
                 reply = (protocol.WAIT, WAIT_HINT_SECONDS)
+                self.wait_replies += 1
         protocol.send_message(connection, *reply)
 
-    def _handle_result(self, connection: socket.socket, payload, held: Set[int]) -> None:
+    def _handle_result(self, connection: socket.socket, payload, held: Set[int],
+                       worker_id: str = "<unregistered>") -> None:
         index, result, backend_used = payload
         fresh = False
         task: Optional[SweepTask] = None
@@ -321,6 +353,9 @@ class SweepBroker:
                     self._pending.remove(index)
                 except ValueError:
                     pass
+                info = self._workers.get(worker_id)
+                if info is not None:
+                    info["completed"] = int(info["completed"]) + 1
                 if len(self._results) == len(self.tasks):
                     self._all_done.set()
             self._extend_leases_locked(held)
@@ -332,6 +367,65 @@ class SweepBroker:
             _LOGGER.info("trial complete", task=index,
                          done=f"{self.completed_count}/{len(self.tasks)}")
         protocol.send_message(connection, protocol.ACK, fresh)
+
+    # ------------------------------------------------------------------ stats
+    def stats_snapshot(self) -> Dict[str, object]:
+        """JSON-ready fleet snapshot served on the ``STATS`` channel.
+
+        Task counts are reconciled against the result set so that
+        ``queued + leased + done == total`` always holds: during the short
+        window where a finished index still sits on the pending queue (late
+        result after a lease expiry) or under a re-issued lease (duplicate
+        delivery in flight), the completed state wins.
+        """
+        now = time.monotonic()
+        with self._lock:
+            done = len(self._results)
+            queued = sum(1 for index in self._pending
+                         if index not in self._results)
+            live_leases = [lease for lease in self._leases.values()
+                           if lease.index not in self._results]
+            workers: Dict[str, Dict[str, object]] = {}
+            for worker_id, info in self._workers.items():
+                workers[worker_id] = {
+                    "connected": bool(info["connected"]),
+                    "last_seen_seconds_ago": round(
+                        now - float(info["last_seen"]), 3),
+                    "completed": int(info["completed"]),
+                    "leases": 0,
+                    "oldest_lease_age": 0.0,
+                }
+            for lease in live_leases:
+                row = workers.get(lease.worker_id)
+                if row is None:
+                    continue
+                row["leases"] = int(row["leases"]) + 1
+                age = round(now - lease.leased_at, 3)
+                if age > float(row["oldest_lease_age"]):
+                    row["oldest_lease_age"] = age
+            snapshot: Dict[str, object] = {
+                "tasks": {
+                    "total": len(self.tasks),
+                    "queued": queued,
+                    "leased": len(live_leases),
+                    "done": done,
+                },
+                "counters": {
+                    "requeued_tasks": self.requeued_tasks,
+                    "duplicate_results": self.duplicate_results,
+                    "wait_replies": self.wait_replies,
+                    "workers_seen": len(self.workers_seen),
+                    "active_connections": self.active_connections,
+                },
+                "workers": workers,
+                "lease_batch": self.lease_batch,
+                "heartbeat_timeout": self.heartbeat_timeout,
+            }
+        from repro import __version__
+
+        snapshot["repro_version"] = __version__
+        snapshot["transport"] = protocol.transport_counters().snapshot()
+        return snapshot
 
     # ------------------------------------------------------------------ leases
     def _extend_leases(self, held: Set[int]) -> None:

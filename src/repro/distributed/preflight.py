@@ -1,0 +1,114 @@
+"""Launch-time sanity checks for distributed sweeps.
+
+A distributed sweep that fails half-way through binding a port or writing
+its first artifact surfaces as a socket traceback from deep inside the
+broker threads.  :func:`run_preflight` checks the obvious launch
+preconditions *before* any worker is spawned and raises one
+:class:`PreflightError` listing every problem with an actionable fix:
+
+* the ``--bind`` address parses, resolves, and its port is free;
+* the artifact-store root is creatable and writable;
+* the worker count is sane (positive, and not wildly above the machine).
+
+The engine runs this automatically for ``backend="distributed"`` launches
+that will actually train something; ``repro run`` turns the error into a
+clean exit-code-2 message.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import tempfile
+from typing import List, Optional
+
+from repro.distributed.protocol import parse_address
+
+#: Auto-spawned local workers beyond ``cpu_count * OVERSUBSCRIBE_FACTOR``
+#: only add scheduler thrash — reject the launch instead of crawling.
+OVERSUBSCRIBE_FACTOR = 8
+
+
+class PreflightError(RuntimeError):
+    """One or more launch preconditions failed; ``problems`` has them all."""
+
+    def __init__(self, problems: List[str]) -> None:
+        self.problems = list(problems)
+        lines = "\n".join(f"  - {problem}" for problem in self.problems)
+        super().__init__(
+            f"distributed sweep preflight failed "
+            f"({len(self.problems)} problem{'s' if len(self.problems) != 1 else ''}):\n"
+            f"{lines}")
+
+
+def check_bind_address(bind: str) -> Optional[str]:
+    """Problem string if ``bind`` cannot be bound right now, else ``None``."""
+    try:
+        host, port = parse_address(bind)
+    except ValueError as error:
+        return f"--bind {bind!r}: {error}"
+    probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    try:
+        # No SO_REUSEADDR: surface "already in use" exactly as the broker
+        # would hit it.  Port 0 (ephemeral) always binds.
+        probe.bind((host, port))
+    except socket.gaierror as error:
+        return (f"--bind {bind!r}: host does not resolve ({error}); "
+                f"use an address of this machine, e.g. 127.0.0.1:{port}")
+    except OSError as error:
+        return (f"--bind {bind!r}: cannot bind ({error}); "
+                "is another broker already running there? Pick a free port "
+                "or port 0 for an ephemeral one")
+    finally:
+        probe.close()
+    return None
+
+
+def check_store_root(store_root: str) -> Optional[str]:
+    """Problem string if ``store_root`` is not a writable directory."""
+    try:
+        os.makedirs(store_root, exist_ok=True)
+        with tempfile.NamedTemporaryFile(dir=store_root, prefix=".preflight-"):
+            pass
+    except OSError as error:
+        return (f"artifact store {store_root!r} is not writable ({error}); "
+                "point --out at a writable directory")
+    return None
+
+
+def check_worker_count(workers: int) -> Optional[str]:
+    """Problem string if ``workers`` makes no sense on this machine."""
+    if workers < 1:
+        return f"--workers must be >= 1, got {workers}"
+    cpus = os.cpu_count() or 1
+    limit = cpus * OVERSUBSCRIBE_FACTOR
+    if workers > limit:
+        return (f"--workers {workers} oversubscribes this machine "
+                f"({cpus} CPUs; limit {limit}); lower --workers or add "
+                "external `repro worker --connect` hosts instead")
+    return None
+
+
+def run_preflight(*, bind: Optional[str] = None,
+                  store_root: Optional[str] = None,
+                  workers: Optional[int] = None) -> None:
+    """Run every applicable check; raise :class:`PreflightError` on failure."""
+    problems = []
+    if bind is not None:
+        problem = check_bind_address(bind)
+        if problem:
+            problems.append(problem)
+    if store_root is not None:
+        problem = check_store_root(store_root)
+        if problem:
+            problems.append(problem)
+    if workers is not None:
+        problem = check_worker_count(workers)
+        if problem:
+            problems.append(problem)
+    if problems:
+        raise PreflightError(problems)
+
+
+__all__ = ["OVERSUBSCRIBE_FACTOR", "PreflightError", "check_bind_address",
+           "check_store_root", "check_worker_count", "run_preflight"]

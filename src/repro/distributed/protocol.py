@@ -40,7 +40,17 @@ worker sends          broker replies           meaning
                                                  ``fresh`` is False for a
                                                  duplicate delivery
 ``(HEARTBEAT, None)``   *(no reply)*             lease keep-alive mid-trial
+``(STATS, None)``       ``(STATS, snapshot)``    fleet observability snapshot
+                                                 (tasks queued/leased/done,
+                                                 per-worker liveness, counters)
 ===================  =======================  ================================
+
+``STATS`` is negotiated exactly like lease batching: a 1.5+ broker
+advertises ``"stats": True`` in its ``WELCOME`` info, and only clients that
+saw the flag send the frame — pre-1.5 workers never request stats and
+pre-1.5 brokers never see one, so mixed fleets stay wire-compatible.  The
+``repro fleet status`` observer registers with a worker id prefixed
+:data:`OBSERVER_PREFIX` so brokers keep it out of the worker accounting.
 
 Security note: frames are pickles, so the broker must only be bound to
 interfaces you trust (the default is loopback).  This mirrors the stdlib
@@ -53,13 +63,16 @@ from __future__ import annotations
 import pickle
 import socket
 import struct
-from typing import Any, Tuple
+import threading
+from typing import Any, Dict, Tuple
 
 #: Message kinds (worker -> broker unless noted).
 HELLO = "hello"
 GET = "get"
 RESULT = "result"
 HEARTBEAT = "heartbeat"
+#: Bidirectional (1.5+): request payload ``None``, reply payload the snapshot.
+STATS = "stats"
 #: Broker -> worker kinds.
 WELCOME = "welcome"
 TASK = "task"
@@ -67,6 +80,11 @@ TASKS = "tasks"          #: k-task lease batch (brokers with lease_batch > 1)
 WAIT = "wait"
 SHUTDOWN = "shutdown"
 ACK = "ack"
+
+#: HELLO ids starting with this mark observer connections (``repro fleet
+#: status``): they may request STATS but never lease tasks, and brokers
+#: exclude them from ``workers_seen`` and the per-worker liveness table.
+OBSERVER_PREFIX = "_observer"
 
 _HEADER = struct.Struct(">Q")
 
@@ -79,10 +97,64 @@ class ProtocolError(ConnectionError):
     """A malformed frame or a violation of the request/response contract."""
 
 
+class TransportCounters:
+    """Frames/bytes moved through :func:`send_message` / :func:`recv_message`.
+
+    One process-wide instance (:func:`transport_counters`) counts every
+    framed message this process sends or receives — broker and worker alike
+    — so the ``STATS`` snapshot and ``telemetry.json`` can report transport
+    traffic.  Always on: the cost is two integer adds under a lock per
+    frame, dwarfed by the pickle + syscall the frame itself costs.
+    """
+
+    __slots__ = ("_lock", "frames_sent", "frames_received",
+                 "bytes_sent", "bytes_received")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.frames_sent = 0
+        self.frames_received = 0
+        self.bytes_sent = 0
+        self.bytes_received = 0
+
+    def record_send(self, n_bytes: int) -> None:
+        with self._lock:
+            self.frames_sent += 1
+            self.bytes_sent += n_bytes
+
+    def record_receive(self, n_bytes: int) -> None:
+        with self._lock:
+            self.frames_received += 1
+            self.bytes_received += n_bytes
+
+    def snapshot(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "frames_sent": self.frames_sent,
+                "frames_received": self.frames_received,
+                "bytes_sent": self.bytes_sent,
+                "bytes_received": self.bytes_received,
+            }
+
+    def reset(self) -> None:
+        with self._lock:
+            self.frames_sent = self.frames_received = 0
+            self.bytes_sent = self.bytes_received = 0
+
+
+_COUNTERS = TransportCounters()
+
+
+def transport_counters() -> TransportCounters:
+    """This process's transport traffic counters."""
+    return _COUNTERS
+
+
 def send_message(sock: socket.socket, kind: str, payload: Any = None) -> None:
     """Write one framed ``(kind, payload)`` message to the socket."""
     body = pickle.dumps((kind, payload), protocol=pickle.HIGHEST_PROTOCOL)
     sock.sendall(_HEADER.pack(len(body)) + body)
+    _COUNTERS.record_send(_HEADER.size + len(body))
 
 
 def recv_message(sock: socket.socket) -> Tuple[str, Any]:
@@ -95,6 +167,7 @@ def recv_message(sock: socket.socket) -> Tuple[str, Any]:
     if not (isinstance(message, tuple) and len(message) == 2
             and isinstance(message[0], str)):
         raise ProtocolError(f"malformed message: {type(message).__name__}")
+    _COUNTERS.record_receive(_HEADER.size + length)
     return message
 
 
@@ -119,7 +192,8 @@ def parse_address(address: str) -> Tuple[str, int]:
 
 
 __all__ = [
-    "ACK", "GET", "HEARTBEAT", "HELLO", "MAX_FRAME_BYTES", "ProtocolError",
-    "RESULT", "SHUTDOWN", "TASK", "TASKS", "WAIT", "WELCOME",
-    "parse_address", "recv_message", "send_message",
+    "ACK", "GET", "HEARTBEAT", "HELLO", "MAX_FRAME_BYTES", "OBSERVER_PREFIX",
+    "ProtocolError", "RESULT", "SHUTDOWN", "STATS", "TASK", "TASKS",
+    "TransportCounters", "WAIT", "WELCOME", "parse_address", "recv_message",
+    "send_message", "transport_counters",
 ]

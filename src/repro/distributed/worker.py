@@ -31,6 +31,7 @@ import uuid
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
+from repro import telemetry
 from repro.distributed import protocol
 from repro.parallel.sweep import SweepTask, _run_sweep_task
 from repro.training.records import TrainingResult
@@ -118,6 +119,7 @@ def run_worker(host: str, port: int,
             if kind == protocol.SHUTDOWN:
                 break
             if kind == protocol.WAIT:
+                telemetry.count("distributed.worker.wait_frames")
                 time.sleep(float(payload))
                 continue
             if kind == protocol.TASK:
@@ -148,6 +150,11 @@ def run_worker(host: str, port: int,
                 if kind != protocol.ACK:
                     raise protocol.ProtocolError(f"expected ACK, got {kind!r}")
                 completed += 1
+                telemetry.count("distributed.worker.tasks_completed")
+                if was_cached:
+                    telemetry.count("distributed.worker.cache_hits")
+                if not fresh:
+                    telemetry.count("distributed.worker.duplicate_acks")
                 _LOGGER.info("task done", worker=worker_id, task=index,
                              cached=was_cached, accepted=fresh)
             if broker_lost:
@@ -173,7 +180,8 @@ def _execute_with_heartbeat(task: SweepTask, store, send,
     thread = threading.Thread(target=beat, name="worker-heartbeat", daemon=True)
     thread.start()
     try:
-        return execute_task(task, store)
+        with telemetry.span("worker.task"):
+            return execute_task(task, store)
     finally:
         stop.set()
         thread.join(timeout=1.0)

@@ -18,6 +18,7 @@ from typing import Tuple
 import numpy as np
 import scipy.linalg
 
+from repro.telemetry.tracing import span
 from repro.utils.validation import ensure_2d
 
 
@@ -34,13 +35,14 @@ def sherman_morrison_update(p: np.ndarray, h_row: np.ndarray) -> np.ndarray:
         raise ValueError(
             f"h_row length {h_row.shape[0]} does not match P dimension {p.shape[0]}"
         )
-    ph = p @ h_row                      # (N,)
-    denom = 1.0 + float(h_row @ ph)     # scalar: 1 + h P h^T
-    if denom <= 0:
-        raise np.linalg.LinAlgError(
-            f"Sherman-Morrison denominator is non-positive ({denom}); P is not positive definite"
-        )
-    return p - np.outer(ph, ph) / denom
+    with span("linalg.sherman_morrison"):
+        ph = p @ h_row                      # (N,)
+        denom = 1.0 + float(h_row @ ph)     # scalar: 1 + h P h^T
+        if denom <= 0:
+            raise np.linalg.LinAlgError(
+                f"Sherman-Morrison denominator is non-positive ({denom}); P is not positive definite"
+            )
+        return p - np.outer(ph, ph) / denom
 
 
 def woodbury_update(p: np.ndarray, h_chunk: np.ndarray) -> np.ndarray:
@@ -59,14 +61,15 @@ def woodbury_update(p: np.ndarray, h_chunk: np.ndarray) -> np.ndarray:
     k = h_chunk.shape[0]
     if k == 1:
         return sherman_morrison_update(p, h_chunk[0])
-    ph_t = p @ h_chunk.T                          # (N, k)
-    inner = np.eye(k) + h_chunk @ ph_t            # (k, k)
-    try:
-        cho = scipy.linalg.cho_factor(inner)
-        solved = scipy.linalg.cho_solve(cho, ph_t.T)   # (k, N)
-    except scipy.linalg.LinAlgError:
-        solved = np.linalg.solve(inner, ph_t.T)
-    return p - ph_t @ solved
+    with span("linalg.woodbury"):
+        ph_t = p @ h_chunk.T                          # (N, k)
+        inner = np.eye(k) + h_chunk @ ph_t            # (k, k)
+        try:
+            cho = scipy.linalg.cho_factor(inner)
+            solved = scipy.linalg.cho_solve(cho, ph_t.T)   # (k, N)
+        except scipy.linalg.LinAlgError:
+            solved = np.linalg.solve(inner, ph_t.T)
+        return p - ph_t @ solved
 
 
 def beta_update(beta: np.ndarray, p_new: np.ndarray, h_chunk: np.ndarray,

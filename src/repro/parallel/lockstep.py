@@ -25,6 +25,7 @@ from typing import List, Optional, Sequence
 
 from repro.core.agents import _ELMFamilyAgent
 from repro.parallel.vector_env import SyncVectorEnv
+from repro.telemetry.tracing import span
 from repro.training.config import TrainingConfig
 from repro.training.records import TrainingResult
 from repro.training.strategies import supports_lockstep
@@ -67,4 +68,6 @@ def train_agents_lockstep(agents: Sequence[_ELMFamilyAgent],
                 "cannot join a lock-step batch; route it through the serial or "
                 "process backend instead"
             )
-    return Trainer().fit_lockstep(agents, configs, venv=venv, strategy="batched")
+    with span("lockstep.train"):
+        return Trainer().fit_lockstep(agents, configs, venv=venv,
+                                      strategy="batched")

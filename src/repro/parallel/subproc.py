@@ -33,6 +33,7 @@ import numpy as np
 
 from repro.envs.core import Env
 from repro.parallel.vector_env import VectorEnv, VectorStepResult
+from repro.telemetry.tracing import span
 
 
 def _subproc_worker(remote: Connection, parent_remote: Connection,
@@ -164,23 +165,25 @@ class SubprocVectorEnv(VectorEnv):
         return observations, infos
 
     def step(self, actions) -> VectorStepResult:
-        self._ensure_open()
-        actions = self._check_actions(actions)
-        for remote, action in zip(self._remotes, actions):
-            remote.send(("step", (action, self.steps_per_message)))
-        observations = np.empty((self.num_envs, self._obs_dim))
-        rewards = np.empty(self.num_envs)
-        terminated = np.zeros(self.num_envs, dtype=bool)
-        truncated = np.zeros(self.num_envs, dtype=bool)
-        infos: List[Dict[str, Any]] = []
-        for i, remote in enumerate(self._remotes):
-            obs, reward, term, trunc, info = _receive(remote)
-            observations[i] = obs
-            rewards[i] = reward
-            terminated[i] = term
-            truncated[i] = trunc
-            infos.append(info)
-        return VectorStepResult(observations, rewards, terminated, truncated, infos)
+        with span("subproc_env.step"):
+            self._ensure_open()
+            actions = self._check_actions(actions)
+            for remote, action in zip(self._remotes, actions):
+                remote.send(("step", (action, self.steps_per_message)))
+            observations = np.empty((self.num_envs, self._obs_dim))
+            rewards = np.empty(self.num_envs)
+            terminated = np.zeros(self.num_envs, dtype=bool)
+            truncated = np.zeros(self.num_envs, dtype=bool)
+            infos: List[Dict[str, Any]] = []
+            for i, remote in enumerate(self._remotes):
+                obs, reward, term, trunc, info = _receive(remote)
+                observations[i] = obs
+                rewards[i] = reward
+                terminated[i] = term
+                truncated[i] = trunc
+                infos.append(info)
+            return VectorStepResult(observations, rewards, terminated,
+                                    truncated, infos)
 
     def close(self) -> None:
         if self._closed:

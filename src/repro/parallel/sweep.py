@@ -408,11 +408,18 @@ class SweepRunner:
 
     # ------------------------------------------------------------------ callbacks
     def _progress_callbacks(self) -> list:
-        if not self.progress_every:
-            return []
-        from repro.training.callbacks import progress_to_stderr
+        callbacks = []
+        if self.progress_every:
+            from repro.training.callbacks import progress_to_stderr
 
-        return [progress_to_stderr(self.progress_every)]
+            callbacks.append(progress_to_stderr(self.progress_every))
+        from repro import telemetry
+
+        if telemetry.enabled():
+            # Only installed while telemetry is on: TelemetryCallback defines
+            # on_step, which switches the trainer to per-step dispatch.
+            callbacks.append(telemetry.TelemetryCallback())
+        return callbacks
 
     def _serial_callbacks(self, task: SweepTask) -> list:
         callbacks = self._progress_callbacks()

@@ -35,6 +35,7 @@ from repro.envs.cartpole import CartPoleEnv
 from repro.envs.core import Env
 from repro.envs.registry import make as make_env
 from repro.envs.spaces import Space
+from repro.telemetry.tracing import span
 from repro.utils.seeding import spawn_seeds
 
 
@@ -198,26 +199,28 @@ class SyncVectorEnv(VectorEnv):
     # ------------------------------------------------------------------ API
     def reset(self, *, seed: Optional[int] = None
               ) -> Tuple[np.ndarray, List[Dict[str, Any]]]:
-        seeds = self._spawn_reset_seeds(seed)
-        observations = np.empty((self.num_envs, self._obs_dim))
-        infos: List[Dict[str, Any]] = []
-        for i, env in enumerate(self.envs):
-            obs, info = env.reset(seed=seeds[i])
-            observations[i] = obs
-            infos.append(info)
-        self._states = observations.copy()
-        self._steps[:] = 0
-        self._started[:] = True
-        return observations, infos
+        with span("vector_env.reset"):
+            seeds = self._spawn_reset_seeds(seed)
+            observations = np.empty((self.num_envs, self._obs_dim))
+            infos: List[Dict[str, Any]] = []
+            for i, env in enumerate(self.envs):
+                obs, info = env.reset(seed=seeds[i])
+                observations[i] = obs
+                infos.append(info)
+            self._states = observations.copy()
+            self._steps[:] = 0
+            self._started[:] = True
+            return observations, infos
 
     def step(self, actions) -> VectorStepResult:
-        actions = self._check_actions(actions)
-        if self._batch_physics:
-            return self._step_batched(actions)
-        result = self._step_loop(actions)
-        if self.autoreset:
-            self._autoreset(result)
-        return result
+        with span("vector_env.step"):
+            actions = self._check_actions(actions)
+            if self._batch_physics:
+                return self._step_batched(actions)
+            result = self._step_loop(actions)
+            if self.autoreset:
+                self._autoreset(result)
+            return result
 
     def close(self) -> None:
         for env in self.envs:

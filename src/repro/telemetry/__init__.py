@@ -1,0 +1,124 @@
+"""``repro.telemetry`` — metrics, tracing spans, and fleet observability.
+
+The package has four parts:
+
+* :mod:`repro.telemetry.registry` — process-local counters, gauges, and
+  fixed-bucket histograms with p50/p90/p99 summaries.
+* :mod:`repro.telemetry.tracing` — nested wall-time spans
+  (``with span("trial.episode"): ...``) aggregated into a tree, plus the
+  global on/off switch (:func:`enable` / ``REPRO_TELEMETRY=1``).
+* :mod:`repro.telemetry.callback` — a :class:`TelemetryCallback` that
+  plugs into the unified Trainer lifecycle and emits per-episode /
+  per-step metrics.
+* :mod:`repro.telemetry.fleet` — the ``STATS`` client behind
+  ``repro fleet status``, querying a live ``SweepBroker``.
+
+Telemetry is **off by default** and strictly off the numeric path: whether
+enabled or disabled, training curves are byte-identical.  The convenience
+emitters below (:func:`count`, :func:`observe`, :func:`set_gauge`) are
+no-ops while disabled, so instrumented hot loops cost one global read per
+event.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from .registry import (
+    COUNT_BUCKETS,
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+)
+from .tracing import (
+    SpanNode,
+    Tracer,
+    disable,
+    enable,
+    enabled,
+    get_tracer,
+    reset_spans,
+    span,
+    span_snapshot,
+)
+
+
+def count(name: str, amount: int = 1) -> None:
+    """Increment counter ``name`` (no-op while telemetry is disabled)."""
+    if enabled():
+        get_registry().counter(name).inc(amount)
+
+
+def observe(name: str, value: float,
+            buckets: Optional[Sequence[float]] = None) -> None:
+    """Record ``value`` into histogram ``name`` (no-op while disabled)."""
+    if enabled():
+        get_registry().histogram(name, buckets).observe(value)
+
+
+def set_gauge(name: str, value: float) -> None:
+    """Set gauge ``name`` to ``value`` (no-op while disabled)."""
+    if enabled():
+        get_registry().gauge(name).set(value)
+
+
+def snapshot() -> Dict[str, object]:
+    """One JSON-serializable document of all telemetry in this process.
+
+    This is the schema the engine writes to ``telemetry.json`` in the
+    :class:`~repro.api.store.ArtifactStore` run directory.
+    """
+    from repro.distributed.protocol import transport_counters
+
+    return {
+        "enabled": enabled(),
+        "metrics": get_registry().snapshot(),
+        "spans": span_snapshot(),
+        "transport": transport_counters().snapshot(),
+    }
+
+
+def reset() -> None:
+    """Clear all metrics and spans (test isolation helper)."""
+    get_registry().reset()
+    reset_spans()
+
+
+def __getattr__(name: str):
+    # TelemetryCallback imports repro.training.callbacks, and the trainer
+    # itself imports repro.telemetry for spans — resolve lazily to keep
+    # `import repro.telemetry` cycle-free.
+    if name == "TelemetryCallback":
+        from .callback import TelemetryCallback
+
+        return TelemetryCallback
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "COUNT_BUCKETS",
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SpanNode",
+    "TelemetryCallback",
+    "Tracer",
+    "count",
+    "disable",
+    "enable",
+    "enabled",
+    "get_registry",
+    "get_tracer",
+    "observe",
+    "reset",
+    "reset_spans",
+    "set_gauge",
+    "snapshot",
+    "span",
+    "span_snapshot",
+]

@@ -1,0 +1,78 @@
+"""Trainer instrumentation: a Callback that feeds the metrics registry.
+
+:class:`TelemetryCallback` plugs into the unified
+:class:`~repro.training.trainer.Trainer` lifecycle and emits:
+
+``trainer.episodes`` (counter)
+    finished episodes across all trials.
+``trainer.steps`` / ``trainer.frames`` (counters)
+    decision points and environment frames (frames ≥ steps under action
+    repeat).
+``trainer.episode_steps`` (histogram, count buckets)
+    episode length distribution — p50/p90/p99 episode steps.
+``trainer.episode_seconds`` (histogram, latency buckets)
+    wall time per episode.
+``trainer.shaped_return`` (histogram, count buckets)
+    per-episode shaped-reward sums.
+``trainer.moving_average`` (gauge)
+    last observed 100-episode moving average.
+``trainer.trials_solved`` / ``trainer.trials_unsolved`` (counters)
+    trial outcomes at train end.
+
+The callback only *reads* the lifecycle events — it never touches agent,
+environment or RNG state, so installing it cannot perturb training curves.
+Note that defining ``on_step`` makes :class:`~repro.training.callbacks.CallbackList`
+dispatch per-step events, which costs a Python call per decision point;
+the sweep runner therefore only installs this callback while telemetry is
+enabled.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List
+
+from repro.telemetry.registry import COUNT_BUCKETS, get_registry
+from repro.training.callbacks import Callback, StepEvent
+
+
+class TelemetryCallback(Callback):
+    """Emit per-episode / per-step training metrics into the registry."""
+
+    def __init__(self) -> None:
+        registry = get_registry()
+        self._episodes = registry.counter("trainer.episodes")
+        self._steps = registry.counter("trainer.steps")
+        self._frames = registry.counter("trainer.frames")
+        self._episode_steps = registry.histogram(
+            "trainer.episode_steps", COUNT_BUCKETS)
+        self._episode_seconds = registry.histogram("trainer.episode_seconds")
+        self._shaped_return = registry.histogram(
+            "trainer.shaped_return", COUNT_BUCKETS)
+        self._moving_average = registry.gauge("trainer.moving_average")
+        self._solved = registry.counter("trainer.trials_solved")
+        self._unsolved = registry.counter("trainer.trials_unsolved")
+        self._episode_started: Dict[int, float] = {}
+
+    def on_episode_start(self, trial: Any) -> None:
+        self._episode_started[trial.index] = time.perf_counter()
+
+    def on_step(self, trial: Any, event: StepEvent) -> None:
+        self._steps.inc()
+        self._frames.inc(event.frames)
+
+    def on_episode_end(self, trial: Any, record: Any) -> None:
+        self._episodes.inc()
+        self._episode_steps.observe(record.steps)
+        self._shaped_return.observe(record.shaped_return)
+        self._moving_average.set(record.moving_average)
+        started = self._episode_started.pop(trial.index, None)
+        if started is not None:
+            self._episode_seconds.observe(time.perf_counter() - started)
+
+    def on_train_end(self, run: Any, results: List[Any]) -> None:
+        for result in results:
+            (self._solved if result.solved else self._unsolved).inc()
+
+
+__all__ = ["TelemetryCallback"]

@@ -53,6 +53,7 @@ from repro.training.callbacks import (
     MetricsRecorder,
     StepEvent,
 )
+from repro.telemetry.tracing import span
 from repro.training.config import TrainingConfig
 from repro.training.records import EpisodeRecord, TrainingCurve, TrainingResult
 from repro.utils.logging import get_logger
@@ -238,41 +239,43 @@ class Trainer:
 
         stop = trial.solved and config.stop_when_solved
         while not stop and trial.episode <= config.max_episodes:
-            agent.begin_episode(trial.episode)
-            self.callbacks.episode_start(trial)
-            state, _ = environment.reset()
-            trial.steps = 0
-            trial.shaped_return = 0.0
-            done = False
-            while not done:
-                action = agent.act(state)
-                frames = 0
-                raw_reward = 0.0
-                for _ in range(repeat):
-                    result = environment.step(action)
-                    trial.steps += 1
-                    frames += 1
-                    raw_reward += result.reward
-                    if result.done:
-                        break
-                reward = self._shaped_reward(trial, result.terminated,
-                                             result.truncated, raw_reward)
-                trial.shaped_return += reward
-                agent.observe(state, action, reward, result.observation, result.done)
-                if emit_steps:
-                    self.callbacks.step(trial, StepEvent(
-                        state=state, action=action, reward=reward,
-                        next_state=result.observation, done=result.done,
-                        frames=frames))
-                state = result.observation
-                done = result.done
-            agent.end_episode(trial.episode)
-            _, stop, _ = self._finish_episode(trial)
-            if checkpoint is not None and checkpoint.due_after_episode() and not stop:
-                self._save_checkpoint(checkpoint, trial, environment,
-                                      elapsed_before + time.perf_counter() - start_wall)
-                self.callbacks.checkpoint(trial)
-            trial.episode += 1
+            with span("trial.episode"):
+                agent.begin_episode(trial.episode)
+                self.callbacks.episode_start(trial)
+                state, _ = environment.reset()
+                trial.steps = 0
+                trial.shaped_return = 0.0
+                done = False
+                while not done:
+                    action = agent.act(state)
+                    frames = 0
+                    raw_reward = 0.0
+                    for _ in range(repeat):
+                        result = environment.step(action)
+                        trial.steps += 1
+                        frames += 1
+                        raw_reward += result.reward
+                        if result.done:
+                            break
+                    reward = self._shaped_reward(trial, result.terminated,
+                                                 result.truncated, raw_reward)
+                    trial.shaped_return += reward
+                    agent.observe(state, action, reward, result.observation,
+                                  result.done)
+                    if emit_steps:
+                        self.callbacks.step(trial, StepEvent(
+                            state=state, action=action, reward=reward,
+                            next_state=result.observation, done=result.done,
+                            frames=frames))
+                    state = result.observation
+                    done = result.done
+                agent.end_episode(trial.episode)
+                _, stop, _ = self._finish_episode(trial)
+                if checkpoint is not None and checkpoint.due_after_episode() and not stop:
+                    self._save_checkpoint(checkpoint, trial, environment,
+                                          elapsed_before + time.perf_counter() - start_wall)
+                    self.callbacks.checkpoint(trial)
+                trial.episode += 1
         trial.episode -= 1          # back to the last episode actually run
 
         wall_time = elapsed_before + time.perf_counter() - start_wall
@@ -386,7 +389,8 @@ class Trainer:
                 f"{getattr(venv, 'steps_per_message', 1)})")
 
         try:
-            return self._run_lockstep(trials, venv, strat, repeat)
+            with span("trainer.fit_lockstep"):
+                return self._run_lockstep(trials, venv, strat, repeat)
         finally:
             if owns_venv:
                 venv.close()

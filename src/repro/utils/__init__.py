@@ -11,7 +11,12 @@ from repro.utils.exceptions import (
     ReproError,
     ShapeError,
 )
-from repro.utils.logging import Logger, get_logger, set_global_level
+from repro.utils.logging import (
+    Logger,
+    get_logger,
+    set_global_format,
+    set_global_level,
+)
 from repro.utils.metrics import (
     ExponentialMovingAverage,
     MovingAverage,
@@ -36,6 +41,7 @@ __all__ = [
     "ShapeError",
     "Logger",
     "get_logger",
+    "set_global_format",
     "set_global_level",
     "ExponentialMovingAverage",
     "MovingAverage",

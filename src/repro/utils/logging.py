@@ -2,19 +2,44 @@
 
 The library avoids the stdlib ``logging`` global configuration so that it can
 be embedded in experiment harnesses and benchmark runs without fighting over
-handlers.  Loggers write to a stream (stderr by default) with a compact
-``[level] name: message key=value`` format.
+handlers.  Loggers write to a stream (stderr by default) in one of two
+formats:
+
+``kv`` (default)
+    the compact human format ``[level elapsed] name: message key=value``.
+``json``
+    one JSON document per line — ``{"ts": ..., "elapsed": ..., "level": ...,
+    "logger": ..., "msg": ..., <fields>}`` — for fleet runs whose logs are
+    collected and parsed by machines.  Select it with
+    :func:`set_global_format` or ``REPRO_LOG_FORMAT=json`` in the
+    environment (inherited by spawned sweep workers).
+
+All loggers share one monotonic epoch (module import time), so ``elapsed``
+values from loggers created at different points in a run land on the same
+timeline; ``ts`` is the Unix wall-clock time of the record.
 """
 
 from __future__ import annotations
 
+import json
+import os
 import sys
 import time
 from typing import Any, Dict, Optional, TextIO
 
 _LEVELS = {"debug": 10, "info": 20, "warning": 30, "error": 40, "off": 100}
 _GLOBAL_LEVEL = "info"
+_FORMATS = ("kv", "json")
+_GLOBAL_FORMAT = (os.environ.get("REPRO_LOG_FORMAT", "kv").strip().lower()
+                  or "kv")
+if _GLOBAL_FORMAT not in _FORMATS:
+    _GLOBAL_FORMAT = "kv"
 _REGISTRY: Dict[str, "Logger"] = {}
+
+#: Shared monotonic epoch: every logger's ``elapsed`` counts from the moment
+#: this module was imported, not from each logger's construction, so records
+#: from loggers created at different times correlate on one timeline.
+_EPOCH = time.perf_counter()
 
 
 def set_global_level(level: str) -> None:
@@ -25,15 +50,26 @@ def set_global_level(level: str) -> None:
     _GLOBAL_LEVEL = level
 
 
+def set_global_format(fmt: str) -> None:
+    """Select the output format: ``"kv"`` (human) or ``"json"`` (per-line)."""
+    global _GLOBAL_FORMAT
+    if fmt not in _FORMATS:
+        raise ValueError(f"unknown log format {fmt!r}; choose from {_FORMATS}")
+    _GLOBAL_FORMAT = fmt
+
+
+def get_global_format() -> str:
+    return _GLOBAL_FORMAT
+
+
 class Logger:
-    """A tiny named logger with key=value structured suffixes."""
+    """A tiny named logger with key=value or JSON structured output."""
 
     def __init__(self, name: str, level: Optional[str] = None,
                  stream: Optional[TextIO] = None) -> None:
         self.name = name
         self._level = level
         self._stream = stream
-        self._start = time.perf_counter()
 
     @property
     def level(self) -> str:
@@ -49,11 +85,25 @@ class Logger:
         if _LEVELS[level] < _LEVELS[self.level]:
             return
         stream = self._stream if self._stream is not None else sys.stderr
-        elapsed = time.perf_counter() - self._start
-        suffix = ""
-        if fields:
-            suffix = " " + " ".join(f"{k}={_format_value(v)}" for k, v in fields.items())
-        stream.write(f"[{level:>7s} {elapsed:9.3f}s] {self.name}: {message}{suffix}\n")
+        elapsed = time.perf_counter() - _EPOCH
+        if _GLOBAL_FORMAT == "json":
+            record: Dict[str, Any] = {
+                "ts": round(time.time(), 6),
+                "elapsed": round(elapsed, 6),
+                "level": level,
+                "logger": self.name,
+                "msg": message,
+            }
+            for key, value in fields.items():
+                record[key] = value if _json_safe(value) else str(value)
+            stream.write(json.dumps(record) + "\n")
+        else:
+            suffix = ""
+            if fields:
+                suffix = " " + " ".join(f"{k}={_format_value(v)}"
+                                        for k, v in fields.items())
+            stream.write(
+                f"[{level:>7s} {elapsed:9.3f}s] {self.name}: {message}{suffix}\n")
 
     def debug(self, message: str, **fields: Any) -> None:
         self._emit("debug", message, fields)
@@ -72,6 +122,15 @@ def _format_value(value: Any) -> str:
     if isinstance(value, float):
         return f"{value:.6g}"
     return str(value)
+
+
+def _json_safe(value: Any) -> bool:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        # NaN/Inf would serialize as non-JSON tokens; stringify those too.
+        return not (isinstance(value, float)
+                    and (value != value or value in (float("inf"),
+                                                     float("-inf"))))
+    return False
 
 
 def get_logger(name: str) -> Logger:

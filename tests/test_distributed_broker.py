@@ -7,7 +7,9 @@ silently hung worker (lease expiry), a task delivered twice — is exercised
 deterministically, without real training or process juggling.
 """
 
+import json
 import socket
+import threading
 import time
 
 import pytest
@@ -17,6 +19,11 @@ from repro.distributed.broker import SweepBroker
 from repro.distributed.coordinator import run_distributed_sweep
 from repro.parallel.sweep import SweepSpec
 from repro.rl.runner import TrainingConfig
+from repro.telemetry.fleet import (
+    FleetStatusError,
+    fetch_fleet_stats,
+    format_fleet_status,
+)
 
 
 def _tiny_tasks(n_seeds=2):
@@ -34,12 +41,20 @@ class _ScriptedWorker:
         protocol.send_message(self.sock, protocol.HELLO, worker_id)
         kind, info = protocol.recv_message(self.sock)
         assert kind == protocol.WELCOME
+        self.welcome_info = info
         self.announced_tasks = info["tasks"]
 
     def get(self, capacity=None):
         """GET with an advertised lease capacity (None = pre-1.4 worker)."""
         protocol.send_message(self.sock, protocol.GET, capacity)
         return protocol.recv_message(self.sock)
+
+    def stats(self):
+        """Request one STATS snapshot over this connection (1.5+)."""
+        protocol.send_message(self.sock, protocol.STATS)
+        kind, snapshot = protocol.recv_message(self.sock)
+        assert kind == protocol.STATS
+        return snapshot
 
     def send_result(self, index, result="result", backend="distributed"):
         protocol.send_message(self.sock, protocol.RESULT,
@@ -331,6 +346,24 @@ class TestLeaseBatching:
         with pytest.raises(ValueError, match="lease_batch"):
             SweepBroker(_tiny_tasks(1), lease_batch=0)
 
+    def test_stats_requests_interleave_with_lease_batches(self):
+        """STATS is just another frame on the worker connection — it must
+        not disturb in-flight leases or batch accounting."""
+        with SweepBroker(_tiny_tasks(3), lease_batch=2) as broker:
+            worker = _ScriptedWorker(broker)
+            kind, leased = worker.get(capacity=8)
+            assert kind == protocol.TASKS and len(leased) == 2
+            snap = worker.stats()
+            assert snap["tasks"]["leased"] == 2
+            assert snap["lease_batch"] == 2
+            for index, _ in leased:
+                worker.send_result(index, result=f"r{index}")
+            kind, leased = worker.get(capacity=8)
+            assert kind == protocol.TASKS and len(leased) == 1
+            worker.send_result(leased[0][0], result="r2")
+            assert broker.join(timeout=1.0)
+            worker.close()
+
     def test_end_to_end_lease_batched_sweep_matches_serial(self):
         """Real worker fleet pulling k=2 task batches converges to the
         bit-identical serial outcome (the worker executes each task through
@@ -349,3 +382,203 @@ class TestLeaseBatching:
                                               batched.results_for()):
             np.testing.assert_array_equal(serial_result.curve.steps,
                                           dist_result.curve.steps)
+
+
+class TestStatsChannel:
+    """The 1.5 STATS frame + `repro fleet status` client, wire level."""
+
+    def test_welcome_advertises_stats_capability(self):
+        with SweepBroker(_tiny_tasks(1)) as broker:
+            worker = _ScriptedWorker(broker)
+            assert worker.welcome_info["stats"] is True
+            worker.close()
+
+    def test_stats_on_untouched_grid(self):
+        with SweepBroker(_tiny_tasks(3)) as broker:
+            worker = _ScriptedWorker(broker)
+            snap = worker.stats()
+            assert snap["tasks"] == {"total": 3, "queued": 3,
+                                     "leased": 0, "done": 0}
+            assert snap["repro_version"]
+            assert snap["heartbeat_timeout"] == broker.heartbeat_timeout
+            # The snapshot is the fleet-status JSON document: serializable.
+            json.dumps(snap)
+            worker.close()
+
+    def test_stats_on_empty_grid(self):
+        """An empty grid is legal (the broker is born finished) and its
+        snapshot reconciles to all-zeros rather than crashing."""
+        with SweepBroker([]) as broker:
+            worker = _ScriptedWorker(broker)
+            snap = worker.stats()
+            assert snap["tasks"] == {"total": 0, "queued": 0,
+                                     "leased": 0, "done": 0}
+            worker.close()
+
+    def test_stats_while_all_tasks_leased(self):
+        with SweepBroker(_tiny_tasks(2)) as broker:
+            holder = _ScriptedWorker(broker, "holder")
+            holder.get()
+            holder.get()
+            snap = holder.stats()
+            assert snap["tasks"] == {"total": 2, "queued": 0,
+                                     "leased": 2, "done": 0}
+            row = snap["workers"]["holder"]
+            assert row["connected"] is True
+            assert row["leases"] == 2
+            assert row["oldest_lease_age"] >= 0.0
+            assert row["completed"] == 0
+            holder.close()
+
+    def test_reconciliation_invariant_through_lifecycle(self):
+        """queued + leased + done == total at every stage of a sweep."""
+        with SweepBroker(_tiny_tasks(3)) as broker:
+            worker = _ScriptedWorker(broker, "w")
+
+            def tasks():
+                snap = worker.stats()["tasks"]
+                assert (snap["queued"] + snap["leased"] + snap["done"]
+                        == snap["total"] == 3)
+                return snap
+
+            assert tasks()["queued"] == 3
+            worker.get()
+            assert tasks()["leased"] == 1
+            worker.send_result(0, result="r0")
+            stage = tasks()
+            assert stage["done"] == 1 and stage["leased"] == 0
+            worker.get()
+            worker.get()
+            assert tasks()["leased"] == 2
+            worker.send_result(1, result="r1")
+            worker.send_result(2, result="r2")
+            final = tasks()
+            assert final["done"] == 3 and final["queued"] == 0
+            assert worker.stats()["workers"]["w"]["completed"] == 3
+            assert broker.join(timeout=1.0)
+            worker.close()
+
+    def test_wait_replies_counted(self):
+        with SweepBroker(_tiny_tasks(1)) as broker:
+            holder = _ScriptedWorker(broker, "holder")
+            holder.get()
+            idle = _ScriptedWorker(broker, "idle")
+            kind, _ = idle.get()
+            assert kind == protocol.WAIT
+            assert idle.stats()["counters"]["wait_replies"] == 1
+            holder.send_result(0)
+            holder.close()
+            idle.close()
+
+    def test_disconnected_worker_marked_gone(self):
+        with SweepBroker(_tiny_tasks(1)) as broker:
+            doomed = _ScriptedWorker(broker, "doomed")
+            doomed.get()
+            doomed.close()
+            _wait_until(lambda: broker.requeued_tasks == 1,
+                        message="disconnect requeue")
+            observer = _ScriptedWorker(broker)
+            snap = observer.stats()
+            row = snap["workers"]["doomed"]
+            assert row["connected"] is False
+            assert row["leases"] == 0            # lease went back to the queue
+            assert snap["tasks"]["queued"] == 1
+            assert snap["counters"]["requeued_tasks"] == 1
+            observer.close()
+
+    def test_pre_stats_worker_serves_unchanged(self):
+        """Mixed fleet: a worker that ignores the stats flag and never sends
+        a STATS frame (a pre-1.5 `repro worker`) completes tasks exactly as
+        before, and its work is still attributed in the snapshot."""
+        with SweepBroker(_tiny_tasks(2)) as broker:
+            legacy = _ScriptedWorker(broker, "legacy")   # never calls .stats()
+            assert legacy.announced_tasks == 2           # reads only "tasks"
+            for index in (0, 1):
+                kind, (got, _task) = legacy.get()
+                assert kind == protocol.TASK and got == index
+                legacy.send_result(index, result=f"r{index}")
+            assert broker.join(timeout=1.0)
+            host, port = broker.address
+            snap = fetch_fleet_stats(host, port)
+            assert snap["workers"]["legacy"]["completed"] == 2
+            assert snap["tasks"]["done"] == 2
+            legacy.close()
+
+    def test_observer_stays_out_of_worker_accounting(self):
+        with SweepBroker(_tiny_tasks(1)) as broker:
+            worker = _ScriptedWorker(broker, "real-worker")
+            host, port = broker.address
+            snap = fetch_fleet_stats(host, port)
+            assert list(snap["workers"]) == ["real-worker"]
+            assert snap["counters"]["workers_seen"] == 1
+            assert not any(seen.startswith(protocol.OBSERVER_PREFIX)
+                           for seen in broker.workers_seen)
+            worker.close()
+
+    def test_fetch_fleet_stats_unreachable_broker(self):
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()                            # nothing listens here now
+        with pytest.raises(FleetStatusError, match="cannot reach"):
+            fetch_fleet_stats("127.0.0.1", port, timeout=0.5)
+
+    def test_fetch_fleet_stats_rejects_pre_stats_broker(self):
+        """Wire-level downgrade: a broker whose WELCOME lacks the stats flag
+        (repro < 1.5) yields an actionable error, not a hang or traceback."""
+        server = socket.socket()
+        server.bind(("127.0.0.1", 0))
+        server.listen(1)
+        host, port = server.getsockname()[:2]
+
+        def legacy_broker():
+            connection, _ = server.accept()
+            with connection:
+                kind, _ = protocol.recv_message(connection)
+                assert kind == protocol.HELLO
+                protocol.send_message(connection, protocol.WELCOME,
+                                      {"tasks": 5})   # pre-1.5: no stats flag
+        thread = threading.Thread(target=legacy_broker, daemon=True)
+        thread.start()
+        try:
+            with pytest.raises(FleetStatusError, match="does not advertise"):
+                fetch_fleet_stats(host, port, timeout=2.0)
+            thread.join(timeout=2.0)
+        finally:
+            server.close()
+
+    def test_format_fleet_status_renders_workers_and_empty_fleet(self):
+        with SweepBroker(_tiny_tasks(2)) as broker:
+            empty = format_fleet_status(broker.stats_snapshot())
+            assert "0/2 done" in empty
+            assert "workers: none registered yet" in empty
+            worker = _ScriptedWorker(broker, "w0")
+            worker.get()
+            text = format_fleet_status(broker.stats_snapshot())
+            assert "w0" in text and "up" in text
+            assert "1 leased" in text
+            worker.close()
+
+    def test_fleet_status_cli_json(self, capsys):
+        from repro.api.cli import main
+
+        with SweepBroker(_tiny_tasks(2)) as broker:
+            host, port = broker.address
+            assert main(["fleet", "status", "--connect",
+                         f"{host}:{port}", "--json"]) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        tasks = snapshot["tasks"]
+        assert (tasks["queued"] + tasks["leased"] + tasks["done"]
+                == tasks["total"] == 2)
+
+    def test_fleet_status_cli_errors(self, capsys):
+        from repro.api.cli import main
+
+        assert main(["fleet", "status", "--connect", "no-port-here"]) == 2
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        assert main(["fleet", "status", "--connect",
+                     f"127.0.0.1:{port}", "--timeout", "0.5"]) == 2
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,127 @@
+"""Tests for the distributed-sweep preflight checks and their CLI surface."""
+
+import os
+import socket
+
+import pytest
+
+from repro.distributed.preflight import (
+    OVERSUBSCRIBE_FACTOR,
+    PreflightError,
+    check_bind_address,
+    check_store_root,
+    check_worker_count,
+    run_preflight,
+)
+
+
+class TestChecks:
+    def test_good_bind_address_passes(self):
+        assert check_bind_address("127.0.0.1:0") is None
+
+    def test_malformed_bind_address(self):
+        problem = check_bind_address("no-port-here")
+        assert problem is not None and "--bind" in problem
+
+    def test_port_already_in_use(self):
+        holder = socket.socket()
+        holder.bind(("127.0.0.1", 0))
+        port = holder.getsockname()[1]
+        try:
+            problem = check_bind_address(f"127.0.0.1:{port}")
+            assert problem is not None
+            assert "cannot bind" in problem
+            assert "another broker" in problem      # actionable, names the fix
+        finally:
+            holder.close()
+
+    def test_unresolvable_host(self):
+        problem = check_bind_address("surely-not-a-real-host.invalid:5555")
+        assert problem is not None and "resolve" in problem
+
+    def test_store_root_created_and_probed(self, tmp_path):
+        target = tmp_path / "new" / "nested" / "store"
+        assert check_store_root(str(target)) is None
+        assert target.is_dir()
+        # The write probe cleans up after itself.
+        assert list(target.iterdir()) == []
+
+    def test_unwritable_store_root(self, tmp_path):
+        if os.geteuid() == 0:
+            pytest.skip("root ignores directory permissions")
+        locked = tmp_path / "locked"
+        locked.mkdir()
+        locked.chmod(0o500)
+        try:
+            problem = check_store_root(str(locked / "store"))
+            assert problem is not None and "not writable" in problem
+        finally:
+            locked.chmod(0o700)
+
+    def test_worker_count_bounds(self):
+        assert check_worker_count(1) is None
+        assert check_worker_count(os.cpu_count() or 1) is None
+        assert "must be >= 1" in check_worker_count(0)
+        too_many = (os.cpu_count() or 1) * OVERSUBSCRIBE_FACTOR + 1
+        problem = check_worker_count(too_many)
+        assert problem is not None and "oversubscribes" in problem
+
+
+class TestRunPreflight:
+    def test_no_inputs_no_checks(self):
+        run_preflight()                          # nothing to check, no error
+
+    def test_all_good_passes(self, tmp_path):
+        run_preflight(bind="127.0.0.1:0", store_root=str(tmp_path), workers=1)
+
+    def test_aggregates_every_problem(self, tmp_path):
+        with pytest.raises(PreflightError) as excinfo:
+            run_preflight(bind="bogus", workers=0)
+        error = excinfo.value
+        assert len(error.problems) == 2
+        assert "2 problems" in str(error)
+        assert all(problem in str(error) for problem in error.problems)
+
+    def test_single_problem_message(self):
+        with pytest.raises(PreflightError, match="1 problem"):
+            run_preflight(workers=-3)
+
+
+class TestEngineAndCli:
+    def test_engine_runs_preflight_for_distributed_backend(self, tmp_path):
+        from repro.api import Budget, ExperimentSpec, run
+
+        spec = ExperimentSpec(name="preflight-tiny", designs=("OS-ELM-L2",),
+                              hidden_sizes=(8,), budget=Budget(max_episodes=2))
+        with pytest.raises(PreflightError, match="--bind"):
+            run(spec, backend="distributed", out=str(tmp_path),
+                bind="not-an-address")
+
+    def test_cached_run_skips_preflight(self, tmp_path):
+        """A fully cached distributed run trains nothing, so a bad bind
+        address must not block re-rendering from cache."""
+        from repro.api import Budget, ExperimentSpec, run
+
+        spec = ExperimentSpec(name="preflight-cached", designs=("OS-ELM-L2",),
+                              hidden_sizes=(8,), budget=Budget(max_episodes=2))
+        run(spec, backend="serial", out=str(tmp_path))
+        report = run(spec, backend="distributed", out=str(tmp_path),
+                     bind="not-an-address")
+        assert report.cached_count == 1
+
+    def test_cli_exit_code_2_with_message(self, tmp_path, capsys):
+        from repro.api import Budget, ExperimentSpec
+        from repro.api.cli import main
+        from repro.utils.serialization import save_json
+
+        spec = ExperimentSpec(name="preflight-cli", designs=("OS-ELM-L2",),
+                              hidden_sizes=(8,), budget=Budget(max_episodes=2))
+        spec_path = tmp_path / "spec.json"
+        save_json(spec_path, spec.to_json())
+        code = main(["run", str(spec_path), "--backend", "distributed",
+                     "--bind", "not-an-address", "--workers", "0",
+                     "--out", str(tmp_path / "artifacts")])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "error: distributed sweep preflight failed" in err
+        assert "--bind" in err and "--workers" in err
