@@ -75,6 +75,13 @@ from repro.parallel import (
 )
 from repro.distributed import SweepBroker, run_distributed_sweep, run_worker
 from repro import telemetry
+from repro.serving import (
+    MicroBatcher,
+    PolicyClient,
+    PolicyServer,
+    WeightPushCallback,
+    load_spec_policies,
+)
 from repro.api import (
     ArtifactStore,
     Budget,
@@ -86,7 +93,7 @@ from repro.api import (
 )
 from repro.api import run as run_experiment
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "AgentConfig",
@@ -132,6 +139,11 @@ __all__ = [
     "run_distributed_sweep",
     "run_worker",
     "train_agents_lockstep",
+    "MicroBatcher",
+    "PolicyClient",
+    "PolicyServer",
+    "WeightPushCallback",
+    "load_spec_policies",
     "ArtifactStore",
     "Budget",
     "ExperimentSpec",

@@ -26,6 +26,15 @@ Subcommands
     per-worker liveness and lease age, requeue/dedup/backpressure counters.
     ``--watch`` refreshes every ``--interval`` seconds; ``--json`` prints
     the raw snapshot for scripts.
+``repro serve <name|spec.json> [--ci] [--store DIR] [--bind HOST:PORT]``
+    Host the spec's trained policies (written by ``repro run
+    --save-policy``) as an online action service: ``ACT`` requests are
+    micro-batched onto the vectorized greedy predict path
+    (``--max-batch``/``--max-wait-us``), weights hot-swap via ``SWAP``
+    frames from a live trainer, and a ``STATS`` frame reports request
+    counters plus p50/p90/p99 latency.  A bad launch (occupied port,
+    unreadable store, missing policy) exits 2 with one aggregated
+    preflight error.
 
 The summary table printed by ``run``/``report`` is identical to what the
 legacy harnesses rendered, and ``--csv`` writes the same rows as CSV — the
@@ -119,8 +128,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
                      resume=not args.no_resume, max_workers=workers,
                      bind=args.bind, checkpoint_every=args.checkpoint_every,
                      lease_batch=args.lease_batch,
-                     progress_every=args.progress_every)
-    except PreflightError as error:
+                     progress_every=args.progress_every,
+                     save_policy=args.save_policy)
+    except (PreflightError, ValueError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
     return _finish(report, args)
@@ -183,6 +193,57 @@ def _cmd_fleet_status(args: argparse.Namespace) -> int:
             return 0
         if not args.json:
             print()
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from repro.api.store import ArtifactStore, default_store_root
+    from repro.distributed import parse_address
+    from repro.distributed.preflight import (
+        PreflightError,
+        check_store_readable,
+        run_preflight,
+    )
+    from repro.serving import PolicyServer, load_spec_policies
+
+    spec = _resolve_spec(args.experiment, "ci" if args.ci else "paper")
+    store_root = (args.store if args.store is not None
+                  else str(default_store_root()))
+    designs = ([name.strip() for name in args.designs.split(",") if name.strip()]
+               if args.designs else None)
+    # Policy discovery only makes sense on a readable store; an unreadable
+    # root reports once through the preflight instead of once per design.
+    policy_problems: list = []
+    policies: dict = {}
+    if check_store_readable(store_root) is None:
+        policies, policy_problems = load_spec_policies(
+            ArtifactStore(store_root), spec, designs)
+    try:
+        run_preflight(bind=args.bind, readable_store_root=store_root,
+                      extra_problems=policy_problems, context="serve")
+    except PreflightError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    host, port = parse_address(args.bind)
+    server = PolicyServer(policies, host=host, port=port,
+                          max_batch=args.max_batch,
+                          max_wait_us=args.max_wait_us)
+    with server:
+        bound_host, bound_port = server.address
+        print(f"serving {len(policies)} "
+              f"polic{'ies' if len(policies) != 1 else 'y'} "
+              f"({', '.join(sorted(policies))}) at {bound_host}:{bound_port}",
+              flush=True)
+        deadline = (_time.monotonic() + args.max_seconds
+                    if args.max_seconds else None)
+        try:
+            while deadline is None or _time.monotonic() < deadline:
+                _time.sleep(0.2)
+        except KeyboardInterrupt:
+            pass
+    print("policy server stopped")
+    return 0
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -251,6 +312,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="stream per-trial training progress to stderr "
                              "every N episodes (serial/vectorized backends; "
                              "0 = off)")
+    runner.add_argument("--save-policy", action="store_true",
+                        help="also persist each freshly trained trial's "
+                             "final agent (trials/<key>/policy.pkl) so "
+                             "`repro serve` can host it; "
+                             "serial/vectorized/process backends")
     runner.set_defaults(handler=_cmd_run)
 
     reporter = commands.add_parser(
@@ -273,6 +339,37 @@ def build_parser() -> argparse.ArgumentParser:
                         help="exit after completing N tasks (default: serve "
                              "until the broker shuts the sweep down)")
     worker.set_defaults(handler=_cmd_worker)
+
+    server = commands.add_parser(
+        "serve", help="host trained policies as an online action service")
+    server.add_argument("experiment",
+                        help="registered name (see `repro list`) or spec "
+                             "JSON path whose trained policies to serve")
+    server.add_argument("--ci", action="store_true",
+                        help="resolve a registered name at CI scale (must "
+                             "match the scale the policies were trained at)")
+    server.add_argument("--store", default=None, metavar="DIR",
+                        help="artifact store holding policy.pkl files "
+                             "(default: $REPRO_ARTIFACTS when set, else "
+                             "./artifacts)")
+    server.add_argument("--bind", default="127.0.0.1:0", metavar="HOST:PORT",
+                        help="listen address (default 127.0.0.1:0 = loopback, "
+                             "ephemeral port; the bound address is printed)")
+    server.add_argument("--designs", default=None, metavar="D1,D2",
+                        help="serve only these designs of the spec "
+                             "(default: all of them)")
+    server.add_argument("--max-batch", type=int, default=8, metavar="N",
+                        help="micro-batch size: dispatch as soon as N "
+                             "requests are queued for one design (default 8)")
+    server.add_argument("--max-wait-us", type=float, default=2000.0,
+                        metavar="T",
+                        help="micro-batch wait: dispatch a partial batch "
+                             "once its oldest request has waited T "
+                             "microseconds (default 2000)")
+    server.add_argument("--max-seconds", type=float, default=0.0, metavar="S",
+                        help="exit after S seconds (0 = serve until "
+                             "interrupted; useful for CI)")
+    server.set_defaults(handler=_cmd_serve)
 
     fleet = commands.add_parser(
         "fleet", help="observe a running distributed sweep")

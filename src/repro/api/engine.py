@@ -104,7 +104,8 @@ def run(spec_or_name: Union[str, ExperimentSpec], *, backend: str = "auto",
         store: Optional[ArtifactStore] = None, resume: bool = True,
         cache_only: bool = False, max_workers: Optional[int] = None,
         bind: Optional[str] = None, checkpoint_every: int = 0,
-        lease_batch: int = 1, progress_every: int = 0) -> RunReport:
+        lease_batch: int = 1, progress_every: int = 0,
+        save_policy: bool = False) -> RunReport:
     """Execute an experiment spec (or registered name) and return its report.
 
     Parameters
@@ -151,6 +152,13 @@ def run(spec_or_name: Union[str, ExperimentSpec], *, backend: str = "auto",
     progress_every:
         Serial/vectorized backends: stream per-trial progress to stderr
         every N episodes.  0 disables.
+    save_policy:
+        Persist every freshly trained trial's final agent into the store
+        (``trials/<key>/policy.pkl``) so ``repro serve`` can host it.
+        Requires a store; serial/vectorized/process backends only (the
+        distributed backend's agents live in worker processes).  Cached
+        trials are *not* retrained just to produce a policy — pass
+        ``resume=False`` to force a training pass that saves them.
     """
     if backend not in BACKENDS:
         raise ValueError(f"unknown backend {backend!r}; choose from {BACKENDS}")
@@ -160,6 +168,8 @@ def run(spec_or_name: Union[str, ExperimentSpec], *, backend: str = "auto",
         spec = get_spec(spec_or_name, scale=scale)
     if store is None and out is not None:
         store = ArtifactStore(out)
+    if save_policy and store is None:
+        raise ValueError("save_policy requires a store (pass out= or store=)")
     if max_workers is None:
         max_workers = spec.max_workers
 
@@ -206,7 +216,8 @@ def run(spec_or_name: Union[str, ExperimentSpec], *, backend: str = "auto",
         # backend streams completions through the runner callback.  The
         # serial backend additionally gets the store for *mid-trial* state
         # checkpointing (checkpoint_every), resuming inside a trial.
-        runner_store = store if backend in ("distributed", "serial") else None
+        runner_store = (store if backend in ("distributed", "serial")
+                        or save_policy else None)
         checkpoint = (None if store is None or backend == "distributed"
                       else _trial_checkpointer(store, backend))
         sweep = SweepRunner(misses, backend=backend, max_workers=max_workers,
@@ -214,7 +225,8 @@ def run(spec_or_name: Union[str, ExperimentSpec], *, backend: str = "auto",
                             checkpoint_every=checkpoint_every,
                             resume_trial_state=resume,
                             lease_batch=lease_batch,
-                            progress_every=progress_every).run(checkpoint)
+                            progress_every=progress_every,
+                            save_policies=save_policy).run(checkpoint)
         for (task, result), backend_used in zip(sweep.entries, sweep.backends_used):
             records[task.key()] = TrialRecord(task, result, backend_used)
 

@@ -5,6 +5,8 @@ Layout (all under one root, default ``./artifacts`` or ``$REPRO_ARTIFACTS``)::
     <root>/trials/<trial_key>/trial.json   scalar result fields + time breakdown
                                            + the full trial descriptor + backend_used
     <root>/trials/<trial_key>/curve.npz    per-episode arrays of the training curve
+    <root>/trials/<trial_key>/policy.pkl   the trained agent (``--save-policy``
+                                           runs only — the ``repro serve`` input)
     <root>/runs/<spec_hash>.json           the spec + its trial keys, written after
                                            every engine run (the ``repro report`` input)
 
@@ -22,6 +24,7 @@ from __future__ import annotations
 
 import json
 import os
+import pickle
 import zipfile
 from dataclasses import asdict
 from pathlib import Path
@@ -219,6 +222,50 @@ class ArtifactStore:
         except FileNotFoundError:
             pass
 
+    # ------------------------------------------------------------------ policies
+    # A trained agent pickled next to its trial record — the deployable
+    # artifact `repro serve` loads.  Written only on --save-policy runs:
+    # curves are small, agents carry full hidden-layer matrices.
+
+    def policy_path(self, task: SweepTask) -> Path:
+        return self.trial_dir(trial_key(task)) / "policy.pkl"
+
+    def save_policy(self, task: SweepTask, agent: Any) -> str:
+        """Atomically persist one trial's trained agent; returns the trial key.
+
+        The blob wraps the pickled agent with its trial descriptor so a
+        served policy is auditable back to the exact training protocol and
+        package version that produced it.
+        """
+        key = trial_key(task)
+        path = self.policy_path(task)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        blob = pickle.dumps({
+            "descriptor": trial_descriptor(task),
+            "design": task.design,
+            "agent": agent,
+        }, protocol=pickle.HIGHEST_PROTOCOL)
+        tmp = path.with_name(f"policy.{os.getpid()}.tmp")
+        tmp.write_bytes(blob)
+        os.replace(tmp, path)
+        return key
+
+    def load_policy(self, task: SweepTask) -> Optional[Any]:
+        """The trained agent saved for this trial, or ``None``.
+
+        Like :meth:`load_trial`, a corrupt or truncated blob reads as a
+        miss rather than crashing the caller.
+        """
+        try:
+            payload = pickle.loads(self.policy_path(task).read_bytes())
+            return payload["agent"]
+        except (FileNotFoundError, OSError, KeyError, TypeError,
+                pickle.UnpicklingError, EOFError, AttributeError):
+            return None
+
+    def has_policy(self, task: SweepTask) -> bool:
+        return self.policy_path(task).exists()
+
     # ------------------------------------------------------------------ runs
     def save_run(self, spec: "ExperimentSpec",  # noqa: F821 - forward ref
                  trial_keys: List[str], *, backend: str,
@@ -237,6 +284,35 @@ class ArtifactStore:
             return load_json(self.run_path(spec_hash))
         except (FileNotFoundError, json.JSONDecodeError, OSError):
             return None
+
+    # ------------------------------------------------------------------ enumeration
+    def list_runs(self) -> List[str]:
+        """Spec hashes of every recorded run, newest first (by file mtime).
+
+        ``list_runs()[0]`` is "the latest run" — the discovery entry point
+        a serving launch uses when the caller knows the spec, not the hash.
+        """
+        runs_dir = self.root / "runs"
+        try:
+            paths = [path for path in runs_dir.iterdir()
+                     if path.suffix == ".json"
+                     and not path.name.endswith(".telemetry.json")]
+        except (FileNotFoundError, NotADirectoryError):
+            return []
+        paths.sort(key=lambda path: (-path.stat().st_mtime, path.name))
+        return [path.stem for path in paths]
+
+    def list_trials(self, spec_hash: str) -> List[str]:
+        """The trial keys of one recorded run, in spec grid order.
+
+        Raises ``KeyError`` for an unknown (or unreadable) run record —
+        "which run?" is a caller mistake, unlike a cache miss.
+        """
+        record = self.load_run(spec_hash)
+        if record is None:
+            raise KeyError(
+                f"no run record for spec hash {spec_hash!r} under {self.root}")
+        return [str(key) for key in record.get("trial_keys", [])]
 
     # ------------------------------------------------------------------ telemetry
     def telemetry_path(self, spec_hash: str) -> Path:

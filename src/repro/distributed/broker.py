@@ -105,13 +105,20 @@ class SweepBroker:
         ``min(lease_batch, advertised)`` — so a mixed fleet of old and new
         workers serves one batching broker safely, old workers simply
         receiving classic ``TASK`` frames.
+    max_frame_bytes:
+        Per-frame size ceiling enforced on every worker frame *before*
+        allocation (default: :func:`~repro.distributed.protocol.
+        default_max_frame_bytes`).  A peer announcing an oversized frame is
+        disconnected with a :class:`ProtocolError` instead of being allowed
+        to allocate the broker into the ground.
     """
 
     def __init__(self, tasks: Sequence[SweepTask], *, host: str = "127.0.0.1",
                  port: int = 0, store: Optional[object] = None,
                  heartbeat_timeout: float = 30.0,
                  callback: Optional[Callable[[SweepTask, TrainingResult], None]] = None,
-                 lease_batch: int = 1) -> None:
+                 lease_batch: int = 1,
+                 max_frame_bytes: Optional[int] = None) -> None:
         if heartbeat_timeout <= 0:
             raise ValueError("heartbeat_timeout must be positive")
         if lease_batch < 1:
@@ -121,6 +128,7 @@ class SweepBroker:
         self.heartbeat_timeout = float(heartbeat_timeout)
         self.callback = callback
         self.lease_batch = int(lease_batch)
+        self.max_frame_bytes = max_frame_bytes
         self._bind_host = host
         self._bind_port = port
 
@@ -256,7 +264,8 @@ class SweepBroker:
             with connection:
                 while not self._closing.is_set():
                     try:
-                        kind, payload = protocol.recv_message(connection)
+                        kind, payload = protocol.recv_message(
+                            connection, max_frame_bytes=self.max_frame_bytes)
                     except (ConnectionError, OSError):
                         break
                     if kind == protocol.HELLO:

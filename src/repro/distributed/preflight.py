@@ -1,4 +1,4 @@
-"""Launch-time sanity checks for distributed sweeps.
+"""Launch-time sanity checks for distributed sweeps and serving daemons.
 
 A distributed sweep that fails half-way through binding a port or writing
 its first artifact surfaces as a socket traceback from deep inside the
@@ -12,7 +12,11 @@ preconditions *before* any worker is spawned and raises one
 
 The engine runs this automatically for ``backend="distributed"`` launches
 that will actually train something; ``repro run`` turns the error into a
-clean exit-code-2 message.
+clean exit-code-2 message.  ``repro serve`` reuses the same machinery with
+a read-side store check (``readable_store_root``) plus its own
+missing-policy problems via ``extra_problems``, so a bad serve invocation
+fails with one aggregated, actionable error exactly like a bad sweep
+launch.
 """
 
 from __future__ import annotations
@@ -32,11 +36,13 @@ OVERSUBSCRIBE_FACTOR = 8
 class PreflightError(RuntimeError):
     """One or more launch preconditions failed; ``problems`` has them all."""
 
-    def __init__(self, problems: List[str]) -> None:
+    def __init__(self, problems: List[str], *,
+                 context: str = "distributed sweep") -> None:
         self.problems = list(problems)
+        self.context = context
         lines = "\n".join(f"  - {problem}" for problem in self.problems)
         super().__init__(
-            f"distributed sweep preflight failed "
+            f"{context} preflight failed "
             f"({len(self.problems)} problem{'s' if len(self.problems) != 1 else ''}):\n"
             f"{lines}")
 
@@ -76,6 +82,23 @@ def check_store_root(store_root: str) -> Optional[str]:
     return None
 
 
+def check_store_readable(store_root: str) -> Optional[str]:
+    """Problem string if ``store_root`` is not a readable directory.
+
+    The read-side counterpart of :func:`check_store_root` for consumers
+    (``repro serve``) that must not create or write the store they are
+    pointed at — a typo'd ``--store`` should fail the launch, not silently
+    serve an empty directory.
+    """
+    if not os.path.isdir(store_root):
+        return (f"artifact store {store_root!r} does not exist; point "
+                "--store at a directory written by `repro run --save-policy`")
+    if not os.access(store_root, os.R_OK | os.X_OK):
+        return (f"artifact store {store_root!r} is not readable; "
+                "fix its permissions or point --store elsewhere")
+    return None
+
+
 def check_worker_count(workers: int) -> Optional[str]:
     """Problem string if ``workers`` makes no sense on this machine."""
     if workers < 1:
@@ -91,9 +114,18 @@ def check_worker_count(workers: int) -> Optional[str]:
 
 def run_preflight(*, bind: Optional[str] = None,
                   store_root: Optional[str] = None,
-                  workers: Optional[int] = None) -> None:
-    """Run every applicable check; raise :class:`PreflightError` on failure."""
-    problems = []
+                  workers: Optional[int] = None,
+                  readable_store_root: Optional[str] = None,
+                  extra_problems: Optional[List[str]] = None,
+                  context: str = "distributed sweep") -> None:
+    """Run every applicable check; raise :class:`PreflightError` on failure.
+
+    ``readable_store_root`` runs the read-side store check (serving
+    launches), ``extra_problems`` lets callers fold domain-specific
+    findings (e.g. "no trained policy for design X") into the one
+    aggregated error, and ``context`` labels whose launch failed.
+    """
+    problems = list(extra_problems) if extra_problems else []
     if bind is not None:
         problem = check_bind_address(bind)
         if problem:
@@ -102,13 +134,18 @@ def run_preflight(*, bind: Optional[str] = None,
         problem = check_store_root(store_root)
         if problem:
             problems.append(problem)
+    if readable_store_root is not None:
+        problem = check_store_readable(readable_store_root)
+        if problem:
+            problems.append(problem)
     if workers is not None:
         problem = check_worker_count(workers)
         if problem:
             problems.append(problem)
     if problems:
-        raise PreflightError(problems)
+        raise PreflightError(problems, context=context)
 
 
 __all__ = ["OVERSUBSCRIBE_FACTOR", "PreflightError", "check_bind_address",
-           "check_store_root", "check_worker_count", "run_preflight"]
+           "check_store_readable", "check_store_root", "check_worker_count",
+           "run_preflight"]

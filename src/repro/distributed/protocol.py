@@ -52,19 +52,48 @@ pre-1.5 brokers never see one, so mixed fleets stay wire-compatible.  The
 ``repro fleet status`` observer registers with a worker id prefixed
 :data:`OBSERVER_PREFIX` so brokers keep it out of the worker accounting.
 
+Serving frames (1.6+)
+---------------------
+The :class:`~repro.serving.PolicyServer` daemon speaks the same framing
+with its own kinds, negotiated through ``WELCOME`` info exactly like the
+broker (a serving daemon advertises ``"serving": True`` plus its design
+list, so a client that connects to a broker — or vice versa — fails with
+one clear error instead of a pickle surprise):
+
+=====================  ==========================  =========================
+client sends            server replies              meaning
+=====================  ==========================  =========================
+``(HELLO, client_id)``  ``(WELCOME, info)``         registration; ``info``
+                                                    carries designs/limits
+``(ACT, (design, state))``  ``(ACTION, action)``    one greedy action for one
+                                                    observation (requests are
+                                                    micro-batched server-side)
+``(SWAP, (design, blob))``  ``(SWAPPED, info)``     hot-swap the design's
+                                                    policy to the pickled
+                                                    agent in ``blob``
+``(STATS, None)``       ``(STATS, snapshot)``       request counters + latency
+                                                    histograms (p50/p90/p99)
+*anything invalid*      ``(ERROR, reason)``         unknown design, bad state
+                                                    shape, undecodable blob...
+=====================  ==========================  =========================
+
 Security note: frames are pickles, so the broker must only be bound to
 interfaces you trust (the default is loopback).  This mirrors the stdlib
 ``multiprocessing`` connection model the in-process backends already rely
-on.
+on.  :func:`recv_message` additionally refuses frames larger than
+``max_frame_bytes`` (default :data:`MAX_FRAME_BYTES`, overridable per call
+or via ``$REPRO_MAX_FRAME_BYTES``) *before* allocating, so a corrupt or
+hostile length header cannot trigger a giant allocation.
 """
 
 from __future__ import annotations
 
+import os
 import pickle
 import socket
 import struct
 import threading
-from typing import Any, Dict, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 #: Message kinds (worker -> broker unless noted).
 HELLO = "hello"
@@ -81,6 +110,13 @@ WAIT = "wait"
 SHUTDOWN = "shutdown"
 ACK = "ack"
 
+#: Serving kinds (PolicyClient <-> PolicyServer, 1.6+).
+ACT = "act"              #: client -> server: ``(design, state)``
+ACTION = "action"        #: server -> client: the greedy action
+SWAP = "swap"            #: client -> server: ``(design, pickled agent blob)``
+SWAPPED = "swapped"      #: server -> client: swap acknowledged (+ generation)
+ERROR = "error"          #: server -> client: request rejected, payload = reason
+
 #: HELLO ids starting with this mark observer connections (``repro fleet
 #: status``): they may request STATS but never lease tasks, and brokers
 #: exclude them from ``workers_seen`` and the per-worker liveness table.
@@ -88,9 +124,31 @@ OBSERVER_PREFIX = "_observer"
 
 _HEADER = struct.Struct(">Q")
 
-#: Upper bound on a single frame (1 GiB) — a corrupted or malicious header
-#: fails fast instead of attempting a giant allocation.
+#: Default upper bound on a single frame (1 GiB) — a corrupted or malicious
+#: header fails fast instead of attempting a giant allocation.  Network-facing
+#: daemons pass a tighter per-call limit; ``$REPRO_MAX_FRAME_BYTES`` overrides
+#: the default process-wide.
 MAX_FRAME_BYTES = 1 << 30
+
+#: Environment variable overriding the default frame-size ceiling.
+MAX_FRAME_ENV_VAR = "REPRO_MAX_FRAME_BYTES"
+
+
+def default_max_frame_bytes() -> int:
+    """The process-wide frame ceiling: ``$REPRO_MAX_FRAME_BYTES`` or 1 GiB."""
+    raw = os.environ.get(MAX_FRAME_ENV_VAR)
+    if raw is None:
+        return MAX_FRAME_BYTES
+    try:
+        limit = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"${MAX_FRAME_ENV_VAR} must be a positive integer, got {raw!r}"
+        ) from None
+    if limit <= 0:
+        raise ValueError(
+            f"${MAX_FRAME_ENV_VAR} must be a positive integer, got {raw!r}")
+    return limit
 
 
 class ProtocolError(ConnectionError):
@@ -157,12 +215,26 @@ def send_message(sock: socket.socket, kind: str, payload: Any = None) -> None:
     _COUNTERS.record_send(_HEADER.size + len(body))
 
 
-def recv_message(sock: socket.socket) -> Tuple[str, Any]:
-    """Read one framed message; raises ``ConnectionError`` on EOF/corruption."""
+def recv_message(sock: socket.socket, *,
+                 max_frame_bytes: Optional[int] = None) -> Tuple[str, Any]:
+    """Read one framed message; raises ``ConnectionError`` on EOF/corruption.
+
+    ``max_frame_bytes`` caps the peer-supplied length *before* any
+    allocation happens (default :func:`default_max_frame_bytes`); an
+    oversized frame raises :class:`ProtocolError`.  Daemons that accept
+    connections from the network pass a limit sized to their real traffic —
+    the broker's trial results and the policy server's observations are
+    orders of magnitude below the 1 GiB default.
+    """
+    limit = (default_max_frame_bytes() if max_frame_bytes is None
+             else max_frame_bytes)
+    if limit <= 0:
+        raise ValueError(f"max_frame_bytes must be positive, got {limit}")
     header = _recv_exact(sock, _HEADER.size)
     (length,) = _HEADER.unpack(header)
-    if length > MAX_FRAME_BYTES:
-        raise ProtocolError(f"frame of {length} bytes exceeds MAX_FRAME_BYTES")
+    if length > limit:
+        raise ProtocolError(
+            f"frame of {length} bytes exceeds the {limit}-byte limit")
     message = pickle.loads(_recv_exact(sock, length))
     if not (isinstance(message, tuple) and len(message) == 2
             and isinstance(message[0], str)):
@@ -192,8 +264,10 @@ def parse_address(address: str) -> Tuple[str, int]:
 
 
 __all__ = [
-    "ACK", "GET", "HEARTBEAT", "HELLO", "MAX_FRAME_BYTES", "OBSERVER_PREFIX",
-    "ProtocolError", "RESULT", "SHUTDOWN", "STATS", "TASK", "TASKS",
-    "TransportCounters", "WAIT", "WELCOME", "parse_address", "recv_message",
+    "ACK", "ACT", "ACTION", "ERROR", "GET", "HEARTBEAT", "HELLO",
+    "MAX_FRAME_BYTES", "MAX_FRAME_ENV_VAR", "OBSERVER_PREFIX",
+    "ProtocolError", "RESULT", "SHUTDOWN", "STATS", "SWAP", "SWAPPED",
+    "TASK", "TASKS", "TransportCounters", "WAIT", "WELCOME",
+    "default_max_frame_bytes", "parse_address", "recv_message",
     "send_message", "transport_counters",
 ]

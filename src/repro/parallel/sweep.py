@@ -148,6 +148,21 @@ class SweepSpec:
         return tasks
 
 
+def _train_sweep_task(task: SweepTask, callbacks: Sequence = ()):
+    """Train one task serially; returns ``(result, trained_agent)``.
+
+    The agent comes back alongside the result so callers that persist
+    deployable policies (``save_policies``) get the final weights without a
+    second training pass.
+    """
+    from repro.training.trainer import Trainer
+
+    agent = task.make_agent()
+    result = Trainer(callbacks=callbacks).fit(agent, config=task.training,
+                                              n_hidden=task.n_hidden)
+    return result, agent
+
+
 def _run_sweep_task(task: SweepTask, callbacks: Sequence = ()) -> TrainingResult:
     """Module-level worker so the process backend can pickle it.
 
@@ -155,11 +170,22 @@ def _run_sweep_task(task: SweepTask, callbacks: Sequence = ()) -> TrainingResult
     (serial backend only — the process backend pickles the bare task) carry
     progress streaming and mid-trial checkpointing.
     """
-    from repro.training.trainer import Trainer
+    result, _ = _train_sweep_task(task, callbacks)
+    return result
 
-    agent = task.make_agent()
-    return Trainer(callbacks=callbacks).fit(agent, config=task.training,
-                                            n_hidden=task.n_hidden)
+
+def _run_sweep_task_saving_policy(task: SweepTask, store_root: str) -> TrainingResult:
+    """Process-backend worker that also persists the trained agent.
+
+    Module-level (wrapped in ``functools.partial(store_root=...)``) so the
+    pool can pickle it; each child opens its own store handle on the shared
+    root — :meth:`ArtifactStore.save_policy` writes are atomic.
+    """
+    from repro.api.store import ArtifactStore
+
+    result, agent = _train_sweep_task(task)
+    ArtifactStore(store_root).save_policy(task, agent)
+    return result
 
 
 @dataclass
@@ -319,6 +345,13 @@ class SweepRunner:
         Serial/vectorized backends: stream per-trial progress to stderr
         every N episodes through a
         :class:`~repro.training.callbacks.ProgressCallback`.  0 disables.
+    save_policies:
+        Persist every trial's final trained agent into the ``store``
+        (:meth:`~repro.api.store.ArtifactStore.save_policy`) so
+        ``repro serve`` can load it later.  Requires a ``store``; supported
+        on the serial, vectorized and process backends (distributed workers
+        train in other processes/hosts — their agents never return to this
+        coordinator, so the combination is rejected up front).
     """
 
     BACKENDS = ("auto", "vectorized", "process", "serial", "distributed")
@@ -330,7 +363,8 @@ class SweepRunner:
                  checkpoint_every: int = 0,
                  resume_trial_state: bool = True,
                  lease_batch: int = 1,
-                 progress_every: int = 0) -> None:
+                 progress_every: int = 0,
+                 save_policies: bool = False) -> None:
         if backend not in self.BACKENDS:
             raise ValueError(f"unknown backend {backend!r}; choose from {self.BACKENDS}")
         if checkpoint_every < 0:
@@ -339,6 +373,13 @@ class SweepRunner:
             raise ValueError("lease_batch must be >= 1")
         if progress_every < 0:
             raise ValueError("progress_every must be >= 0")
+        if save_policies and store is None:
+            raise ValueError("save_policies requires a store to write into")
+        if save_policies and backend == "distributed":
+            raise ValueError(
+                "save_policies is not supported on the distributed backend: "
+                "worker-trained agents never reach this coordinator; train "
+                "with --backend serial/vectorized/process instead")
         if not isinstance(spec, SweepSpec):
             tasks = list(spec)
             bad = [task for task in tasks if not isinstance(task, SweepTask)]
@@ -361,6 +402,7 @@ class SweepRunner:
         self.resume_trial_state = resume_trial_state
         self.lease_batch = lease_batch
         self.progress_every = progress_every
+        self.save_policies = save_policies
 
     def tasks(self) -> List[SweepTask]:
         """The task list this runner will execute, in grid order."""
@@ -380,13 +422,23 @@ class SweepRunner:
                 if callback is not None:
                     callback(tasks[index], result)
 
-            results = parallel_map(_run_sweep_task, tasks, backend="process",
+            if self.save_policies:
+                from functools import partial
+
+                worker = partial(_run_sweep_task_saving_policy,
+                                 store_root=str(self.store.root))
+            else:
+                worker = _run_sweep_task
+            results = parallel_map(worker, tasks, backend="process",
                                    max_workers=self.max_workers, callback=stream)
             for task, result in zip(tasks, results):
                 sweep.add(task, result, backend_used="process")
         elif self.backend == "serial":
             for task in tasks:
-                result = _run_sweep_task(task, callbacks=self._serial_callbacks(task))
+                result, agent = _train_sweep_task(
+                    task, callbacks=self._serial_callbacks(task))
+                if self.save_policies:
+                    self.store.save_policy(task, agent)
                 if callback is not None:
                     callback(task, result)
                 sweep.add(task, result, backend_used="serial")
@@ -462,7 +514,9 @@ class SweepRunner:
             configs = [task.training for task in group_tasks]
             trainer = Trainer(callbacks=self._progress_callbacks())
             results = trainer.fit_lockstep(agents, configs, strategy=strategy)
-            for task, result in zip(group_tasks, results):
+            for task, agent, result in zip(group_tasks, agents, results):
+                if self.save_policies:
+                    self.store.save_policy(task, agent)
                 if callback is not None:
                     callback(task, result)
                 sweep.add(task, result, backend_used="lockstep")

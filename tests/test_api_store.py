@@ -132,3 +132,100 @@ class TestEngineCaching:
         report = run(_tiny_spec(), backend="serial")
         assert report.store_root is None
         assert not (tmp_path / "artifacts").exists()
+
+
+class TestPolicyPersistence:
+    def test_save_load_round_trip(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        task = _tiny_spec().tasks()[0]
+        agent = task.make_agent()
+        _train(task)
+        assert not store.has_policy(task)
+        assert store.load_policy(task) is None
+        store.save_policy(task, agent)
+        assert store.has_policy(task)
+        loaded = store.load_policy(task)
+        assert type(loaded) is type(agent)
+        state = np.array([0.1, -0.2, 0.03, 0.4])
+        assert loaded.act(state, explore=False) == agent.act(state,
+                                                             explore=False)
+
+    def test_corrupt_policy_reads_as_none(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        task = _tiny_spec().tasks()[0]
+        store.save_policy(task, task.make_agent())
+        store.policy_path(task).write_bytes(b"not a pickle")
+        assert store.load_policy(task) is None
+
+    @pytest.mark.parametrize("backend", ["serial", "vectorized", "process"])
+    def test_run_save_policy_writes_every_trial(self, tmp_path, backend):
+        spec = _tiny_spec(designs=("OS-ELM-L2", "ELM"))
+        report = run(spec, backend=backend, out=str(tmp_path),
+                     save_policy=True)
+        assert report.executed_count == 2
+        store = ArtifactStore(tmp_path)
+        for task in spec.tasks():
+            assert store.has_policy(task), task.design
+            agent = store.load_policy(task)
+            assert callable(getattr(agent, "act_batch", None))
+
+    def test_save_policy_requires_a_store(self):
+        with pytest.raises(ValueError, match="save_policy"):
+            run(_tiny_spec(), backend="serial", save_policy=True)
+
+    def test_save_policy_rejects_distributed_backend(self, tmp_path):
+        with pytest.raises(ValueError, match="distributed"):
+            run(_tiny_spec(), backend="distributed", out=str(tmp_path),
+                save_policy=True)
+
+    def test_load_spec_policies_finds_saved_agents(self, tmp_path):
+        from repro.serving import load_spec_policies
+
+        spec = _tiny_spec(designs=("OS-ELM-L2", "ELM"))
+        run(spec, backend="serial", out=str(tmp_path), save_policy=True)
+        store = ArtifactStore(tmp_path)
+        policies, problems = load_spec_policies(store, spec)
+        assert problems == []
+        assert sorted(policies) == ["ELM", "OS-ELM-L2"]
+        missing, missing_problems = load_spec_policies(
+            store, _tiny_spec(designs=("OS-ELM-L2", "DQN")))
+        assert sorted(missing) == ["OS-ELM-L2"]
+        assert len(missing_problems) == 1
+        assert "no trained policy for design 'DQN'" in missing_problems[0]
+
+    def test_load_spec_policies_rejects_unknown_design(self, tmp_path):
+        from repro.serving import load_spec_policies
+
+        policies, problems = load_spec_policies(
+            ArtifactStore(tmp_path), _tiny_spec(), designs=["Nope"])
+        assert policies == {}
+        assert len(problems) == 1 and "not part of spec" in problems[0]
+
+
+class TestStoreEnumeration:
+    def test_list_runs_empty_store(self, tmp_path):
+        assert ArtifactStore(tmp_path).list_runs() == []
+
+    def test_list_runs_and_trials(self, tmp_path):
+        spec_a = _tiny_spec(name="enum-a")
+        spec_b = _tiny_spec(name="enum-b", designs=("ELM",))
+        run(spec_a, backend="serial", out=str(tmp_path))
+        run(spec_b, backend="serial", out=str(tmp_path))
+        store = ArtifactStore(tmp_path)
+        listed = store.list_runs()
+        assert sorted(listed) == sorted([spec_a.spec_hash, spec_b.spec_hash])
+        trials = store.list_trials(spec_a.spec_hash)
+        assert trials == [trial_key(spec_a.tasks()[0])]
+        # every listed trial must actually resolve to a stored artifact
+        assert (store.trial_dir(trials[0]) / "trial.json").exists()
+
+    def test_list_runs_excludes_telemetry_records(self, tmp_path):
+        spec = _tiny_spec(name="enum-telemetry")
+        run(spec, backend="serial", out=str(tmp_path))
+        runs_dir = tmp_path / "runs"
+        (runs_dir / f"{spec.spec_hash}.telemetry.json").write_text("{}")
+        assert ArtifactStore(tmp_path).list_runs() == [spec.spec_hash]
+
+    def test_list_trials_unknown_hash_raises(self, tmp_path):
+        with pytest.raises(KeyError, match="no run record for spec hash"):
+            ArtifactStore(tmp_path).list_trials("deadbeef")

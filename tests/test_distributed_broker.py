@@ -251,7 +251,7 @@ class TestProtocolHelpers:
         left, right = socket.socketpair()
         try:
             left.sendall((protocol.MAX_FRAME_BYTES + 1).to_bytes(8, "big"))
-            with pytest.raises(protocol.ProtocolError, match="MAX_FRAME_BYTES"):
+            with pytest.raises(protocol.ProtocolError, match="exceeds the"):
                 protocol.recv_message(right)
         finally:
             left.close()

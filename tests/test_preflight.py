@@ -9,6 +9,7 @@ from repro.distributed.preflight import (
     OVERSUBSCRIBE_FACTOR,
     PreflightError,
     check_bind_address,
+    check_store_readable,
     check_store_root,
     check_worker_count,
     run_preflight,
@@ -58,6 +59,32 @@ class TestChecks:
         finally:
             locked.chmod(0o700)
 
+    def test_readable_store_passes(self, tmp_path):
+        assert check_store_readable(str(tmp_path)) is None
+
+    def test_missing_store_is_a_problem(self, tmp_path):
+        problem = check_store_readable(str(tmp_path / "nope"))
+        assert problem is not None
+        assert "does not exist" in problem
+        assert "--save-policy" in problem                # actionable fix
+
+    def test_unreadable_store_is_a_problem(self, tmp_path):
+        if os.geteuid() == 0:
+            pytest.skip("root ignores directory permissions")
+        locked = tmp_path / "locked"
+        locked.mkdir()
+        locked.chmod(0o000)
+        try:
+            problem = check_store_readable(str(locked))
+            assert problem is not None and "not readable" in problem
+        finally:
+            locked.chmod(0o700)
+
+    def test_readable_check_never_creates_the_store(self, tmp_path):
+        target = tmp_path / "absent"
+        check_store_readable(str(target))
+        assert not target.exists()
+
     def test_worker_count_bounds(self):
         assert check_worker_count(1) is None
         assert check_worker_count(os.cpu_count() or 1) is None
@@ -85,6 +112,17 @@ class TestRunPreflight:
     def test_single_problem_message(self):
         with pytest.raises(PreflightError, match="1 problem"):
             run_preflight(workers=-3)
+
+    def test_serve_context_and_extra_problems(self, tmp_path):
+        with pytest.raises(PreflightError) as excinfo:
+            run_preflight(readable_store_root=str(tmp_path / "missing"),
+                          extra_problems=["no trained policy for 'OS-ELM'"],
+                          context="serve")
+        error = excinfo.value
+        assert error.context == "serve"
+        assert str(error).startswith("serve preflight failed (2 problems)")
+        assert "no trained policy" in str(error)
+        assert "does not exist" in str(error)
 
 
 class TestEngineAndCli:
@@ -125,3 +163,36 @@ class TestEngineAndCli:
         err = capsys.readouterr().err
         assert "error: distributed sweep preflight failed" in err
         assert "--bind" in err and "--workers" in err
+
+    def _spec_file(self, tmp_path):
+        from repro.api import Budget, ExperimentSpec
+        from repro.utils.serialization import save_json
+
+        spec = ExperimentSpec(name="serve-cli", designs=("OS-ELM-L2",),
+                              hidden_sizes=(8,), budget=Budget(max_episodes=2))
+        spec_path = tmp_path / "spec.json"
+        save_json(spec_path, spec.to_json())
+        return spec_path
+
+    def test_cli_serve_exit_code_2_on_missing_store(self, tmp_path, capsys):
+        from repro.api.cli import main
+
+        code = main(["serve", str(self._spec_file(tmp_path)),
+                     "--store", str(tmp_path / "absent")])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "error: serve preflight failed" in err
+        assert "does not exist" in err
+
+    def test_cli_serve_exit_code_2_on_untrained_store(self, tmp_path, capsys):
+        from repro.api.cli import main
+
+        empty = tmp_path / "store"
+        empty.mkdir()
+        code = main(["serve", str(self._spec_file(tmp_path)),
+                     "--store", str(empty)])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "error: serve preflight failed" in err
+        assert "no trained policy for design 'OS-ELM-L2'" in err
+        assert "--save-policy" in err
