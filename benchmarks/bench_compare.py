@@ -62,6 +62,11 @@ def compare(fresh_path: str, baseline_path: str, min_ratio: float) -> int:
     if fresh.get("sync_subproc_identical") is not True:
         problems.append("sync/subproc trajectory identity no longer holds")
 
+    if ("autoscale_serial_vectorized_identical" in baseline
+            and fresh.get("autoscale_serial_vectorized_identical") is not True):
+        problems.append("Autoscale-v0 serial/lock-step curve identity no "
+                        "longer holds")
+
     if problems:
         print("\nbench comparison FAILED:")
         for problem in problems:

@@ -189,6 +189,47 @@ def bench_async_overlap(num_envs: int = 2, rounds: int = 150,
     return rows
 
 
+def bench_autoscale_lockstep(seeds: int = 2, episodes: int = 6,
+                             root_seed: int = 909):
+    """Serial vs lock-step sweep throughput on the Autoscale-v0 systems env.
+
+    The generic batched fast path (``AutoscaleEnv.batch_dynamics`` driven by
+    ``SyncVectorEnv``) carries the vectorized backend here, so a regression
+    that silently drops Autoscale-v0 off the fast path shows up as a rate
+    collapse in the committed baseline.  Returns ``(rows, rates, identical)``
+    where ``identical`` asserts the serial and lock-step curves match
+    exactly — the bit-identity contract, not just a speed number.
+    """
+    training = TrainingConfig(env_id="Autoscale-v0", max_episodes=episodes,
+                              max_steps_per_episode=60,
+                              solved_threshold=10_000.0, stop_when_solved=False,
+                              reward_shaping=False)
+    spec = SweepSpec(designs=("OS-ELM-L2-Lipschitz",), n_seeds=seeds,
+                     n_hidden=16, training=training, root_seed=root_seed)
+    rows, rates, curves = [], {}, {}
+    serial_rate = None
+    for backend in ("serial", "vectorized"):
+        start = time.perf_counter()
+        sweep = SweepRunner(spec, backend=backend).run()
+        seconds = time.perf_counter() - start
+        rate = sweep.total_env_steps / seconds
+        if serial_rate is None:
+            serial_rate = rate
+        key = "autoscale_lockstep" if backend == "vectorized" else "autoscale_serial"
+        rates[key] = rate
+        curves[backend] = [tuple(result.curve.steps)
+                           for result in sweep.results_for()]
+        rows.append({
+            "engine": f"SweepRunner backend={backend}",
+            "env_steps": sweep.total_env_steps,
+            "seconds": round(seconds, 3),
+            "steps_per_sec": round(rate),
+            "speedup": round(rate / serial_rate, 2),
+        })
+    identical = curves["serial"] == curves["vectorized"]
+    return rows, rates, identical
+
+
 def bench(args: argparse.Namespace) -> int:
     training = TrainingConfig(max_episodes=args.episodes,
                               solved_threshold=10_000.0,   # fixed workload: never early-stop
@@ -253,6 +294,15 @@ def bench(args: argparse.Namespace) -> int:
     # sweep, so it must not be read as like-for-like with the rows above.
     backend_rates["async_rollout"] = float(async_rows[-1]["env_steps_per_sec"])
 
+    autoscale_rows, autoscale_rates, autoscale_identical = \
+        bench_autoscale_lockstep(episodes=4 if args.smoke else 10)
+    backend_rates.update(autoscale_rates)
+    print()
+    print(format_table(autoscale_rows,
+                       title="Autoscale-v0 (systems env): serial vs lock-step sweep"))
+    print(f"Autoscale-v0 serial == lock-step curves (seeded): "
+          f"{'OK' if autoscale_identical else 'MISMATCH'}")
+
     identical = verify_sync_subproc_identical()
     print(f"\nSyncVectorEnv == SubprocVectorEnv trajectories (seeded): "
           f"{'OK' if identical else 'MISMATCH'}")
@@ -279,6 +329,8 @@ def bench(args: argparse.Namespace) -> int:
                               for name, rate in sorted(backend_rates.items())},
             "subproc_batching": batching_rows,
             "async_overlap": async_rows,
+            "autoscale_lockstep": autoscale_rows,
+            "autoscale_serial_vectorized_identical": autoscale_identical,
             "sync_subproc_identical": identical,
         }
         path = Path(args.json)
@@ -286,7 +338,7 @@ def bench(args: argparse.Namespace) -> int:
         path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n",
                         encoding="utf-8")
         print(f"json: {path}")
-    return 0 if identical else 1
+    return 0 if identical and autoscale_identical else 1
 
 
 def main(argv=None) -> int:

@@ -63,6 +63,19 @@ def _resolve_spec(name_or_path: str, scale: str) -> ExperimentSpec:
     return get_spec(name_or_path, scale=scale)
 
 
+def _env_families(env_ids) -> str:
+    """The env families a spec spans, from the env registry's metadata."""
+    from repro.envs import spec as env_spec
+
+    families = set()
+    for env_id in env_ids:
+        try:
+            families.add(env_spec(env_id).family)
+        except KeyError:
+            families.add("?")
+    return "+".join(sorted(families)) if families else "-"
+
+
 def _cmd_list(_args: argparse.Namespace) -> int:
     rows = []
     for entry in list_experiments():
@@ -70,7 +83,10 @@ def _cmd_list(_args: argparse.Namespace) -> int:
         rows.append({
             "name": entry.name,
             "kind": spec.kind,
-            "grid": (f"{len(spec.designs)} designs x {len(spec.hidden_sizes)} sizes"
+            "env_family": ("-" if spec.kind == "resource_table"
+                           else _env_families(spec.env_ids)),
+            "grid": (f"{len(spec.designs)} designs x {len(spec.hidden_sizes)} "
+                     f"sizes = {spec.n_trials} trials"
                      if spec.kind != "resource_table"
                      else f"{len(spec.hidden_sizes)} sizes"),
             "paper_episodes": spec.budget.max_episodes,

@@ -100,6 +100,19 @@ def _grouped(report: "RunReport") -> Dict[Tuple[str, int], Dict[str, list]]:
     return panels
 
 
+def _steps_ylabel(env_id: str) -> str:
+    """Family-aware axis label: what "steps" measures depends on the env."""
+    from repro.envs import spec as env_spec
+
+    try:
+        family = env_spec(env_id).family
+    except KeyError:
+        family = "classic-control"
+    if family == "systems":
+        return "steps before overload"
+    return "steps survived"
+
+
 def plot_training_curves(report: "RunReport", out_dir: Path) -> List[Path]:
     """The Figure 4 panels: one per (env, hidden size), lines per design."""
     import matplotlib
@@ -120,7 +133,7 @@ def plot_training_curves(report: "RunReport", out_dir: Path) -> List[Path]:
                                 agg["mean"] + agg["std"], color=color,
                                 alpha=0.15, linewidth=0, zorder=2)
         ax.set_xlabel("episode")
-        ax.set_ylabel("steps survived")
+        ax.set_ylabel(_steps_ylabel(env_id))
         ax.set_title(f"{report.spec.name}: training curves — {env_id}, "
                      f"Ñ = {n_hidden}", fontsize=11)
         legend = ax.legend(frameon=False, fontsize=9)

@@ -19,6 +19,10 @@ Built-ins
 ``table3``
     FPGA resource utilization of the OS-ELM Q-Network core (analytical
     area model; no training trials).
+``autoscale`` / ``autoscale_ci``
+    The systems env family: the software designs autoscaling the
+    ``Autoscale-v0`` queueing workload (the ci variant shortens episodes
+    through ``env_overrides``).
 
 User specs register with :func:`register_experiment` — see
 ``examples/custom_experiment.py`` for an Acrobot/MountainCar scenario.
@@ -168,6 +172,46 @@ def _register_builtins() -> None:
         description="FPGA resource utilization of the OS-ELM core (Table 3)",
     )
     register_experiment(table3, table3)
+
+    # The systems env family: the six software designs autoscaling a
+    # queueing workload.  reward_shaping stays off — the env's own
+    # latency/cost reward is the training signal — and the solved criterion
+    # is on survival steps (episodes terminate on backlog overload).
+    autoscale_paper = ExperimentSpec(
+        name="autoscale",
+        kind="training_curve",
+        designs=SOFTWARE_DESIGNS,
+        hidden_sizes=(32, 64, 128),
+        env_ids=("Autoscale-v0",),
+        n_seeds=3,
+        seed=2718,
+        seed_stride=19,
+        seed_mod=983,
+        budget=Budget(max_episodes=400, solved_threshold=350.0,
+                      solved_window=50, reward_shaping=False),
+        description="OS-ELM vs DQN designs autoscaling a queueing workload "
+                    "(systems env family)",
+    )
+    autoscale_ci = ExperimentSpec(
+        name="autoscale_ci",
+        kind="training_curve",
+        designs=("OS-ELM-L2-Lipschitz", "DQN"),
+        hidden_sizes=(32,),
+        env_ids=("Autoscale-v0",),
+        n_seeds=1,
+        seed=2718,
+        seed_stride=19,
+        seed_mod=983,
+        budget=Budget(max_episodes=15, solved_threshold=45.0,
+                      solved_window=10, reward_shaping=False),
+        env_overrides={"Autoscale-v0": {"env_params": {"max_episode_steps": 50}}},
+        description="Minutes-scale autoscale variant (short episodes via "
+                    "env_overrides)",
+    )
+    register_experiment(autoscale_paper, autoscale_ci)
+    # Also addressable directly (`repro run autoscale_ci`); both names
+    # resolve to the identical spec object, so they share one cache.
+    register_experiment(autoscale_ci)
 
 
 _register_builtins()

@@ -119,6 +119,15 @@ class ExperimentSpec:
         :func:`repro.api.engine.run` does not pass one explicitly.  ``None``
         (default) defers to the runner's own default.  Lets a spec that is,
         say, memory-hungry per trial ship its own cap without CLI flags.
+    env_overrides:
+        Optional per-environment adjustments for multi-family grids, keyed
+        by env id.  Each entry may override :class:`Budget` fields (e.g.
+        ``{"max_episodes": 30}`` to shorten one env's protocol) and/or carry
+        an ``"env_params"`` dict forwarded to the env constructor (e.g.
+        ``{"env_params": {"max_episode_steps": 50}}``).  An empty mapping is
+        excluded from :meth:`canonical_json`, so specs that never use the
+        feature keep their historical ``spec_hash`` — and their artifact
+        caches — unchanged.
     """
 
     name: str
@@ -134,6 +143,7 @@ class ExperimentSpec:
     seed_mod: int = 997
     description: str = ""
     max_workers: Optional[int] = None
+    env_overrides: Dict[str, Dict[str, Any]] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "designs", tuple(self.designs))
@@ -164,6 +174,25 @@ class ExperimentSpec:
             raise ValueError(f"duplicate hidden_sizes in {self.hidden_sizes}")
         if len(set(self.env_ids)) != len(self.env_ids):
             raise ValueError(f"duplicate env_ids in {self.env_ids}")
+        overrides = {str(env_id): dict(entry)
+                     for env_id, entry in dict(self.env_overrides).items()}
+        object.__setattr__(self, "env_overrides", overrides)
+        allowed = {f.name for f in fields(Budget)} | {"env_params"}
+        for env_id, entry in overrides.items():
+            if env_id not in self.env_ids:
+                raise ValueError(
+                    f"env_overrides names {env_id!r}, which is not in env_ids "
+                    f"{self.env_ids}")
+            unknown = set(entry) - allowed
+            if unknown:
+                raise ValueError(
+                    f"env_overrides[{env_id!r}] has unknown keys {sorted(unknown)}; "
+                    f"allowed: Budget fields and 'env_params'")
+            env_params = entry.get("env_params")
+            if env_params is not None and not isinstance(env_params, dict):
+                raise ValueError(
+                    f"env_overrides[{env_id!r}]['env_params'] must be a dict, "
+                    f"got {type(env_params).__name__}")
 
     # ------------------------------------------------------------------ grid
     @property
@@ -187,21 +216,39 @@ class ExperimentSpec:
                 + stable_hash(design) % self.seed_mod
                 + _ENV_SEED_STRIDE * env_index)
 
+    def env_budget(self, env_id: str) -> Budget:
+        """The budget one environment trains under (base + its overrides)."""
+        entry = self.env_overrides.get(env_id, {})
+        budget_fields = {key: value for key, value in entry.items()
+                         if key != "env_params"}
+        return replace(self.budget, **budget_fields) if budget_fields else self.budget
+
+    def env_params(self, env_id: str) -> Dict[str, Any]:
+        """Constructor overrides one environment is built with."""
+        return dict(self.env_overrides.get(env_id, {}).get("env_params", {}))
+
     def tasks(self) -> List["SweepTask"]:  # noqa: F821 - forward ref, imported below
-        """Expand the grid into fully seeded, picklable sweep tasks."""
-        from repro.envs.registry import env_dimensions
+        """Expand the grid into fully seeded, picklable sweep tasks.
+
+        Observation/action dimensions come from the env registry's
+        capability metadata inside ``SweepTask`` itself — nothing is
+        hand-threaded here.
+        """
         from repro.parallel.sweep import SweepTask
 
         if self.kind == "resource_table":
             return []
-        env_dims = {env_id: env_dimensions(env_id) for env_id in self.env_ids}
         tasks: List[SweepTask] = []
         for env_index, env_id in enumerate(self.env_ids):
-            n_states, n_actions = env_dims[env_id]
+            budget = self.env_budget(env_id)
+            env_params = tuple(sorted(self.env_params(env_id).items()))
             for n_hidden in self.hidden_sizes:
                 for design in self.designs:
                     for trial in range(self.n_seeds):
                         seed = self.trial_seed(design, n_hidden, trial, env_index)
+                        training = budget.training_config(env_id=env_id, seed=seed)
+                        if env_params:
+                            training = replace(training, env_params=env_params)
                         tasks.append(SweepTask(
                             design=design,
                             env_id=env_id,
@@ -209,10 +256,7 @@ class ExperimentSpec:
                             gamma=self.gamma,
                             seed=seed,
                             trial=trial,
-                            training=self.budget.training_config(env_id=env_id,
-                                                                 seed=seed),
-                            n_states=n_states,
-                            n_actions=n_actions,
+                            training=training,
                         ))
         return tasks
 
@@ -276,6 +320,10 @@ class ExperimentSpec:
         """
         data = self.to_json()
         data.pop("max_workers", None)
+        if not data.get("env_overrides"):
+            # Specs predating (or not using) per-env overrides keep their
+            # historical hash — and their cached artifacts.
+            data.pop("env_overrides", None)
         return json.dumps(data, sort_keys=True, separators=(",", ":"))
 
     @property

@@ -65,6 +65,11 @@ def trial_descriptor(task: SweepTask) -> Dict[str, Any]:
     """
     import repro
 
+    training = asdict(task.training)
+    if not training.get("env_params"):
+        # Keys of trials that never customize the env constructor are the
+        # same as before env_params existed, so historical caches stay valid.
+        training.pop("env_params", None)
     return {
         "format_version": STORE_FORMAT_VERSION,
         "repro_version": repro.__version__,
@@ -75,7 +80,7 @@ def trial_descriptor(task: SweepTask) -> Dict[str, Any]:
         "n_actions": task.n_actions,
         "gamma": task.gamma,
         "seed": task.seed,
-        "training": asdict(task.training),
+        "training": training,
     }
 
 

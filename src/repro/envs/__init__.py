@@ -9,12 +9,15 @@ the relevant slice of the Gym API from scratch:
 * :class:`TimeLimit` and :class:`EpisodeStatistics` wrappers,
 * the classic-control tasks CartPole-v0/v1 (the paper's benchmark, with the
   exact Table 2 bounds), MountainCar-v0 and Acrobot-v1 (the "other
-  reinforcement tasks" mentioned as future work in Section 5).
+  reinforcement tasks" mentioned as future work in Section 5),
+* the systems family: Autoscale-v0, a seeded queueing/autoscaling simulator
+  (stochastic traffic, replica scaling with cold starts, SLO/cost reward).
 """
 
 from repro.envs.core import Env, EnvSpec, StepResult
 from repro.envs.spaces import Box, Discrete, Space
 from repro.envs.registry import env_dimensions, make, register, registry, spec
+from repro.envs.autoscale import AutoscaleEnv, AutoscaleParams
 from repro.envs.cartpole import CartPoleEnv
 from repro.envs.mountain_car import MountainCarEnv
 from repro.envs.acrobot import AcrobotEnv
@@ -32,6 +35,8 @@ __all__ = [
     "register",
     "registry",
     "spec",
+    "AutoscaleEnv",
+    "AutoscaleParams",
     "CartPoleEnv",
     "MountainCarEnv",
     "AcrobotEnv",

@@ -1,0 +1,242 @@
+"""Autoscale-v0: a seeded queueing/autoscaling simulator (systems env family).
+
+The agent operates a replicated service under stochastic request traffic:
+each step it may add a replica (which only becomes useful after a cold-start
+delay), retire one, or hold.  Arrivals follow a Poisson process whose rate
+carries a diurnal sinusoid plus a two-state Markov burst phase; request
+latency comes from an M/M/c-style congestion law over the fleet's aggregate
+service capacity.  The reward trades SLO latency violations against
+replica-hours cost, and an episode *terminates* when the backlog grows past
+an overload limit — so "steps survived", the quantity every training curve
+in this repo plots, measures how long the policy keeps the service alive.
+
+Bit-identity contract
+---------------------
+The serial :meth:`AutoscaleEnv._step` delegates to the static
+:meth:`AutoscaleEnv.batch_dynamics` on a one-row batch — the exact function
+the vectorized path (:class:`~repro.parallel.vector_env.SyncVectorEnv`) calls
+on a K-row batch.  Stochastic draws (burst transition, Poisson arrivals) and
+the one transcendental (the diurnal ``math.sin``) happen in a scalar per-env
+loop in a fixed order; everything after that is element-wise IEEE arithmetic
+(+, -, *, /, min, max), which NumPy evaluates identically for any batch
+width.  Observation slots that persist across steps are scaled by powers of
+two only (replica counts / 16, backlog / 1024), so normalize→denormalize
+round-trips are exact and the serial and batched trajectories match
+bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.envs.core import Env, StepResult
+from repro.envs.spaces import Box, Discrete
+
+#: Scale on the utilization observation slot (rho is capped at this value).
+_RHO_CAP = 4.0
+
+_TWO_PI = 2.0 * math.pi
+
+
+@dataclass(frozen=True)
+class AutoscaleParams:
+    """Constants of the traffic/queueing model.
+
+    The normalization scales (``max_replicas``, ``queue_limit``,
+    ``arrival_scale``, ``latency_cap``) must be powers of two: observation
+    slots store *normalized* values and the dynamics recover the raw ones by
+    multiplication, which is only exact for power-of-two scales.
+    """
+
+    max_replicas: int = 16              #: fleet ceiling (power of two)
+    min_replicas: int = 1               #: scale-down floor
+    initial_replicas: int = 4           #: warm replicas at episode start
+    cold_start_steps: int = 2           #: steps a new replica warms up for
+    service_rate: float = 8.0           #: requests one warm replica serves per step
+    base_rate: float = 48.0             #: diurnal-mean arrival rate, requests/step
+    diurnal_amplitude: float = 0.5      #: relative swing of the diurnal sinusoid
+    diurnal_period: int = 256           #: steps per diurnal cycle
+    burst_multiplier: float = 2.0       #: arrival-rate multiple while bursting
+    burst_start_probability: float = 0.02
+    burst_stop_probability: float = 0.25
+    base_latency: float = 0.0625        #: s per request at zero queueing
+    slo_latency: float = 0.25           #: s, the latency objective
+    latency_cap: float = 4.0            #: s, latency model ceiling (power of two)
+    queue_limit: float = 1024.0         #: backlog triggering overload termination
+    arrival_scale: float = 256.0        #: observation scale for arrivals
+    congestion_floor: float = 0.03125   #: lower clamp on (1 - rho) in the wait law
+    latency_weight: float = 0.5         #: reward weight of SLO violation
+    cost_weight: float = 0.25           #: reward weight of fleet size
+
+    @property
+    def n_state_dims(self) -> int:
+        """7 core slots + one cold-start pipeline slot per warm-up step."""
+        return 7 + self.cold_start_steps
+
+    def __post_init__(self) -> None:
+        if self.cold_start_steps < 1:
+            raise ValueError("cold_start_steps must be >= 1")
+        if not (1 <= self.min_replicas <= self.initial_replicas <= self.max_replicas):
+            raise ValueError(
+                "need 1 <= min_replicas <= initial_replicas <= max_replicas")
+        for name in ("max_replicas", "queue_limit", "arrival_scale", "latency_cap"):
+            value = float(getattr(self, name))
+            if value <= 0 or math.log2(value) != int(math.log2(value)):
+                raise ValueError(f"{name} must be a positive power of two, got {value}")
+        if self.diurnal_period <= 0:
+            raise ValueError("diurnal_period must be positive")
+        if not 0.0 <= self.diurnal_amplitude < 1.0:
+            raise ValueError("diurnal_amplitude must be in [0, 1)")
+
+
+class AutoscaleEnv(Env):
+    """The replica-autoscaling task.
+
+    Observation (``7 + cold_start_steps`` float64 slots, all roughly [0, 1]):
+
+    ======  =======================================================
+    slot    meaning
+    ======  =======================================================
+    0       warm replicas / ``max_replicas``
+    1       backlog / ``queue_limit``
+    2       last step's arrivals / ``arrival_scale``
+    3       last step's latency / ``latency_cap``
+    4       burst phase flag (0 or 1)
+    5       diurnal phase offset of this episode (drawn at reset)
+    6       last step's capped utilization rho / 4
+    7..     replicas finishing cold start in 1, 2, ... steps
+            (each / ``max_replicas``)
+    ======  =======================================================
+
+    Actions: 0 = retire one replica, 1 = hold, 2 = launch one replica
+    (enters the cold-start pipeline; ignored at the fleet ceiling).
+    """
+
+    #: Capability flag the generic vectorized fast path keys on.
+    supports_batch_dynamics = True
+
+    def __init__(self, *, max_episode_steps: int = 400,
+                 params: AutoscaleParams = AutoscaleParams(),
+                 seed: int = None) -> None:
+        super().__init__(seed=seed)
+        self.params = params
+        self.max_episode_steps = (max_episode_steps if max_episode_steps is None
+                                  else int(max_episode_steps))
+        dims = params.n_state_dims
+        high = np.ones(dims, dtype=np.float64)
+        high[1] = np.inf     # the terminal backlog may overshoot queue_limit
+        high[2] = np.inf     # a burst draw may exceed arrival_scale
+        self.observation_space = Box(np.zeros(dims), high, seed=seed)
+        self.action_space = Discrete(3, seed=None if seed is None else seed + 1)
+        self.state: np.ndarray = np.zeros(dims)
+        self._steps = 0
+
+    # ------------------------------------------------------------------ dynamics
+    def _reset(self) -> Tuple[np.ndarray, Dict[str, Any]]:
+        p = self.params
+        self.state = np.zeros(p.n_state_dims)
+        self.state[0] = p.initial_replicas / p.max_replicas
+        self.state[5] = float(self._rng.random())   # this episode's diurnal phase
+        self._steps = 0
+        return self.state.copy(), {}
+
+    @staticmethod
+    def batch_dynamics(states: np.ndarray, steps: np.ndarray,
+                       actions: np.ndarray, params: AutoscaleParams,
+                       rngs: Sequence[np.random.Generator]
+                       ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Advance K sub-envs one step; returns (new_states, rewards, terminated).
+
+        ``steps[i]`` is sub-env i's completed step count this episode (the
+        time index of the diurnal clock) and ``rngs[i]`` its generator.  Each
+        generator consumes exactly two draws per call — one uniform (burst
+        transition), one Poisson (arrivals) — in that order, so the serial
+        one-row path and any batched path walk identical streams.
+        """
+        states = np.asarray(states, dtype=np.float64)
+        actions = np.asarray(actions)
+        n = len(rngs)
+
+        # Scalar segment: RNG draws + the diurnal transcendental, per env in
+        # a fixed order.  Batched NumPy transcendentals may use SIMD code
+        # paths whose rounding differs from the scalar libm; keeping sin()
+        # here makes batch width irrelevant to the bits.
+        burst = states[:, 4].copy()
+        arrivals = np.empty(n)
+        for i in range(n):
+            rng = rngs[i]
+            u = rng.random()
+            if burst[i] == 1.0:
+                if u < params.burst_stop_probability:
+                    burst[i] = 0.0
+            elif u < params.burst_start_probability:
+                burst[i] = 1.0
+            phase = (float(steps[i]) / params.diurnal_period + states[i, 5]) * _TWO_PI
+            rate = params.base_rate * (1.0 + params.diurnal_amplitude * math.sin(phase))
+            if burst[i] == 1.0:
+                rate *= params.burst_multiplier
+            arrivals[i] = float(rng.poisson(rate))
+
+        # Vectorized segment: element-wise exact arithmetic only from here on.
+        max_replicas = float(params.max_replicas)
+        replicas = states[:, 0] * max_replicas
+        backlog = states[:, 1] * params.queue_limit
+        pipeline = states[:, 7:] * max_replicas
+
+        # Replicas finishing cold start join the warm pool; the pipeline shifts.
+        replicas = replicas + pipeline[:, 0]
+        pipeline = np.concatenate([pipeline[:, 1:], np.zeros((n, 1))], axis=1)
+
+        # Apply the scaling action (0 = down, 1 = hold, 2 = up).
+        replicas = np.where(actions == 0,
+                            np.maximum(replicas - 1.0, float(params.min_replicas)),
+                            replicas)
+        pending = pipeline.sum(axis=1)
+        launch = (actions == 2) & (replicas + pending < max_replicas)
+        pipeline[:, -1] = np.where(launch, pipeline[:, -1] + 1.0, pipeline[:, -1])
+        pending = np.where(launch, pending + 1.0, pending)
+
+        # Serve the queue: M/M/c-flavored congestion latency on utilization.
+        capacity = replicas * params.service_rate
+        demand = backlog + arrivals
+        backlog = demand - np.minimum(demand, capacity)
+        rho = demand / capacity
+        wait = rho / np.maximum(1.0 - rho, params.congestion_floor)
+        latency = np.minimum(params.base_latency * (1.0 + wait), params.latency_cap)
+
+        violation = np.minimum(
+            np.maximum(latency / params.slo_latency - 1.0, 0.0), 8.0) / 8.0
+        cost = (replicas + pending) / max_replicas
+        rewards = -(params.latency_weight * violation + params.cost_weight * cost)
+        terminated = backlog >= params.queue_limit
+
+        new_states = np.empty_like(states)
+        new_states[:, 0] = replicas / max_replicas
+        new_states[:, 1] = backlog / params.queue_limit
+        new_states[:, 2] = arrivals / params.arrival_scale
+        new_states[:, 3] = latency / params.latency_cap
+        new_states[:, 4] = burst
+        new_states[:, 5] = states[:, 5]
+        new_states[:, 6] = np.minimum(rho, _RHO_CAP) / _RHO_CAP
+        new_states[:, 7:] = pipeline / max_replicas
+        return new_states, rewards, terminated
+
+    def _step(self, action) -> StepResult:
+        action = int(np.asarray(action).item())
+        new_states, rewards, terminated = self.batch_dynamics(
+            self.state[None, :], np.array([self._steps]), np.array([action]),
+            self.params, [self._rng])
+        self.state = new_states[0]
+        self._steps += 1
+        term = bool(terminated[0])
+        truncated = bool(self.max_episode_steps is not None
+                         and self._steps >= self.max_episode_steps)
+        return StepResult(self.state.copy(), float(rewards[0]), term, truncated,
+                          {"steps": self._steps})
+
+
+__all__ = ["AutoscaleEnv", "AutoscaleParams"]

@@ -13,12 +13,24 @@ from repro.utils.seeding import np_random
 
 @dataclass(frozen=True)
 class EnvSpec:
-    """Static metadata about a registered environment."""
+    """Static metadata about a registered environment.
+
+    The capability fields (``n_states``, ``n_actions``,
+    ``supports_batch_dynamics``, ``family``) let the experiment machinery
+    size agents and route execution straight from the registry — no env
+    instantiation, no hand-threaded dimensions per call site.  They default
+    to "unknown" so user registrations without metadata keep working (the
+    registry falls back to instantiating the env to measure it).
+    """
 
     id: str
     max_episode_steps: Optional[int] = None
     reward_threshold: Optional[float] = None
     kwargs: Dict[str, Any] = field(default_factory=dict)
+    n_states: Optional[int] = None          #: flat observation dims, if known
+    n_actions: Optional[int] = None         #: discrete action count, if known
+    supports_batch_dynamics: bool = False   #: has the vectorized batch-step hook
+    family: str = "classic-control"         #: env family tag ("systems", ...)
 
 
 @dataclass

@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.envs.acrobot import AcrobotEnv
+from repro.envs.autoscale import AutoscaleEnv, AutoscaleParams
 from repro.envs.cartpole import CartPoleEnv
 from repro.envs.core import Env, EnvSpec
 from repro.envs.mountain_car import MountainCarEnv
@@ -23,13 +24,23 @@ registry: Dict[str, _Registration] = {}
 def register(env_id: str, factory: Callable[..., Env], *,
              max_episode_steps: Optional[int] = None,
              reward_threshold: Optional[float] = None,
+             n_states: Optional[int] = None,
+             n_actions: Optional[int] = None,
+             supports_batch_dynamics: bool = False,
+             family: str = "classic-control",
              **default_kwargs: Any) -> None:
     """Register an environment constructor under a string id.
 
-    Re-registering an existing id overwrites it (useful in tests).
+    The capability metadata (``n_states``, ``n_actions``,
+    ``supports_batch_dynamics``, ``family``) is optional; when the
+    dimensions are omitted, :func:`env_dimensions` measures them by
+    instantiating the env once.  Re-registering an existing id overwrites
+    it (useful in tests).
     """
     registry[env_id] = _Registration(
-        EnvSpec(env_id, max_episode_steps, reward_threshold, dict(default_kwargs)),
+        EnvSpec(env_id, max_episode_steps, reward_threshold, dict(default_kwargs),
+                n_states=n_states, n_actions=n_actions,
+                supports_batch_dynamics=supports_batch_dynamics, family=family),
         factory,
     )
 
@@ -46,7 +57,12 @@ def env_dimensions(env_id: str) -> Tuple[int, int]:
 
     The experiment machinery uses this to size agents for whatever
     environment a spec names, instead of assuming CartPole's (4, 2).
+    Registrations carrying dimension metadata answer from the spec alone;
+    only metadata-less registrations pay an env instantiation to measure.
     """
+    env_spec = spec(env_id)
+    if env_spec.n_states is not None and env_spec.n_actions is not None:
+        return int(env_spec.n_states), int(env_spec.n_actions)
     env = make(env_id)
     try:
         n_actions = getattr(env.action_space, "n", None)
@@ -91,7 +107,14 @@ def make(env_id: str, *, seed: Optional[int] = None, record_statistics: bool = F
 
 
 # ---------------------------------------------------------------------- built-ins
-register("CartPole-v0", CartPoleEnv, max_episode_steps=200, reward_threshold=195.0)
-register("CartPole-v1", CartPoleEnv, max_episode_steps=500, reward_threshold=475.0)
-register("MountainCar-v0", MountainCarEnv, max_episode_steps=200, reward_threshold=-110.0)
-register("Acrobot-v1", AcrobotEnv, max_episode_steps=500, reward_threshold=-100.0)
+register("CartPole-v0", CartPoleEnv, max_episode_steps=200, reward_threshold=195.0,
+         n_states=4, n_actions=2, supports_batch_dynamics=True)
+register("CartPole-v1", CartPoleEnv, max_episode_steps=500, reward_threshold=475.0,
+         n_states=4, n_actions=2, supports_batch_dynamics=True)
+register("MountainCar-v0", MountainCarEnv, max_episode_steps=200, reward_threshold=-110.0,
+         n_states=2, n_actions=3)
+register("Acrobot-v1", AcrobotEnv, max_episode_steps=500, reward_threshold=-100.0,
+         n_states=6, n_actions=3)
+register("Autoscale-v0", AutoscaleEnv, max_episode_steps=400,
+         n_states=AutoscaleParams().n_state_dims, n_actions=3,
+         supports_batch_dynamics=True, family="systems")

@@ -76,7 +76,16 @@ def _design_supports_lockstep(design: str) -> bool:
 
 @dataclass(frozen=True)
 class SweepTask:
-    """One cell of the sweep grid: a fully specified, picklable trial."""
+    """One cell of the sweep grid: a fully specified, picklable trial.
+
+    ``n_states`` / ``n_actions`` default to ``None`` and are derived from the
+    env registry's capability metadata
+    (:func:`repro.envs.registry.env_dimensions`) at construction.  Passing
+    them explicitly still works — unregistered test doubles need it — but an
+    explicit value that *contradicts* the registry is a deprecated override:
+    it warns now and will become an error once the one-release grace period
+    ends (register the env with the right metadata instead).
+    """
 
     design: str
     env_id: str
@@ -85,8 +94,31 @@ class SweepTask:
     seed: int
     trial: int                        #: trial index within (design, env_id)
     training: TrainingConfig          #: per-trial protocol (seed already embedded)
-    n_states: int = 4                 #: env observation dims (CartPole default)
-    n_actions: int = 2                #: env action count (CartPole default)
+    n_states: Optional[int] = None    #: env observation dims (registry-derived)
+    n_actions: Optional[int] = None   #: env action count (registry-derived)
+
+    def __post_init__(self) -> None:
+        from repro.envs.registry import env_dimensions, registry as env_registry
+
+        if self.n_states is None or self.n_actions is None:
+            n_states, n_actions = env_dimensions(self.env_id)
+            if self.n_states is None:
+                object.__setattr__(self, "n_states", n_states)
+            if self.n_actions is None:
+                object.__setattr__(self, "n_actions", n_actions)
+        elif self.env_id in env_registry:
+            n_states, n_actions = env_dimensions(self.env_id)
+            if (self.n_states, self.n_actions) != (n_states, n_actions):
+                import warnings
+
+                warnings.warn(
+                    f"SweepTask(env_id={self.env_id!r}) overrides the registry "
+                    f"dimensions ({n_states}, {n_actions}) with "
+                    f"({self.n_states}, {self.n_actions}); explicit "
+                    "n_states/n_actions overrides are deprecated and will be "
+                    "removed in the next release — register the environment "
+                    "with the intended metadata instead",
+                    DeprecationWarning, stacklevel=3)
 
     def make_agent(self):
         """Instantiate the trial's agent (called inside the executing worker)."""
@@ -129,22 +161,17 @@ class SweepSpec:
 
     def tasks(self) -> List[SweepTask]:
         """Expand the grid into seeded tasks (design-major, then env, then trial)."""
-        from repro.envs.registry import env_dimensions
-
         grid = [(design, env_id, trial)
                 for design in self.designs
                 for env_id in self.env_ids
                 for trial in range(self.n_seeds)]
         seeds = spawn_seeds(self.root_seed, len(grid))
-        env_dims = {env_id: env_dimensions(env_id) for env_id in self.env_ids}
         tasks = []
         for (design, env_id, trial), seed in zip(grid, seeds):
             training = replace(self.training, env_id=env_id, seed=seed)
-            n_states, n_actions = env_dims[env_id]
             tasks.append(SweepTask(design=design, env_id=env_id,
                                    n_hidden=self.n_hidden, gamma=self.gamma,
-                                   seed=seed, trial=trial, training=training,
-                                   n_states=n_states, n_actions=n_actions))
+                                   seed=seed, trial=trial, training=training))
         return tasks
 
 

@@ -19,9 +19,13 @@ bootstrap from the true terminal state while continuing the rollout.
 :class:`SyncVectorEnv` steps its sub-envs in lock-step inside the calling
 process.  When every sub-env is a stock CartPole it transparently switches
 to a batched physics path (:meth:`CartPoleEnv.batch_dynamics`) that advances
-all N cart-poles with array arithmetic; the per-env trajectories are
-identical either way.  :class:`~repro.parallel.subproc.SubprocVectorEnv`
-offers the same interface across worker processes.
+all N cart-poles with array arithmetic; any other homogeneous batch of an
+env class flagging ``supports_batch_dynamics`` (e.g.
+:class:`~repro.envs.autoscale.AutoscaleEnv`) goes through the generic
+``batch_dynamics(states, steps, actions, params, rngs)`` hook, rewards and
+RNG streams included.  The per-env trajectories are identical either way.
+:class:`~repro.parallel.subproc.SubprocVectorEnv` offers the same interface
+across worker processes.
 """
 
 from __future__ import annotations
@@ -170,6 +174,8 @@ class SyncVectorEnv(VectorEnv):
             raise ValueError(f"sub-envs have mismatched observation shapes: {obs_shapes}")
         self._obs_dim = self.envs[0].n_observations
         self._batch_physics = bool(batch_physics) and self._cartpole_fast_path_ok()
+        self._batch_dynamics = (bool(batch_physics) and not self._batch_physics
+                                and self._generic_fast_path_ok())
         # Fast-path mirrors of the per-env state; refreshed on every reset().
         # While batched stepping is active, these arrays are authoritative and
         # the sub-env objects are only guaranteed current at reset boundaries.
@@ -191,10 +197,40 @@ class SyncVectorEnv(VectorEnv):
                         and env.max_episode_steps == first.max_episode_steps
                         for env in self.envs))
 
+    def _generic_fast_path_ok(self) -> bool:
+        """Homogeneous batch of a capability-flagged env class?
+
+        Any :class:`~repro.envs.core.Env` subclass that sets
+        ``supports_batch_dynamics = True`` and provides the
+        ``batch_dynamics(states, steps, actions, params, rngs)`` hook (e.g.
+        :class:`~repro.envs.autoscale.AutoscaleEnv`) is stepped through one
+        vectorized call instead of N scalar ``step()``s.  CartPole keeps its
+        dedicated path above (different hook signature, scalar small-batch
+        twin); this generic gate deliberately excludes it.
+        """
+        first = self.envs[0]
+        cls = type(first)
+        if not getattr(cls, "supports_batch_dynamics", False):
+            return False
+        if not all(type(env) is cls for env in self.envs):
+            return False
+        from repro.envs.spaces import Discrete
+
+        return (isinstance(first.action_space, Discrete)
+                and first.action_space.start == 0
+                and all(env.params == first.params
+                        and env.max_episode_steps == first.max_episode_steps
+                        for env in self.envs))
+
     @property
     def uses_batch_physics(self) -> bool:
         """Whether steps go through the vectorized CartPole dynamics."""
         return self._batch_physics
+
+    @property
+    def uses_batch_dynamics(self) -> bool:
+        """Whether steps go through a vectorized path (CartPole's or generic)."""
+        return self._batch_physics or self._batch_dynamics
 
     # ------------------------------------------------------------------ API
     def reset(self, *, seed: Optional[int] = None
@@ -217,6 +253,8 @@ class SyncVectorEnv(VectorEnv):
             actions = self._check_actions(actions)
             if self._batch_physics:
                 return self._step_batched(actions)
+            if self._batch_dynamics:
+                return self._step_batched_generic(actions)
             result = self._step_loop(actions)
             if self.autoreset:
                 self._autoreset(result)
@@ -254,20 +292,7 @@ class SyncVectorEnv(VectorEnv):
         the identical Euler step.
         """
         if self.validate:
-            if not self._started.all():
-                i = int(np.flatnonzero(~self._started)[0])
-                raise RuntimeError(f"step() called before reset() on sub-env {i}")
-            space = self.single_action_space
-            if actions.dtype.kind not in "iu":
-                # Discrete spaces reject floats/bools element-wise on the
-                # per-env path; mirror that wholesale for the batch.
-                raise ValueError(
-                    f"actions must be an integer array for {space}, got dtype "
-                    f"{actions.dtype}"
-                )
-            if ((actions < 0) | (actions >= space.n)).any():
-                bad = next(a for a in actions if not space.contains(int(a)))
-                raise ValueError(f"action {bad!r} is not contained in {space}")
+            self._validate_batch_actions(actions)
         env0 = self.envs[0]
         params = env0.params
         max_steps = env0.max_episode_steps
@@ -303,6 +328,66 @@ class SyncVectorEnv(VectorEnv):
                 else:
                     self._started[i] = False
         return VectorStepResult(observations, self._unit_rewards.copy(),
+                                terminated, truncated, infos)
+
+    def _validate_batch_actions(self, actions: np.ndarray) -> None:
+        """Batched mirror of the per-env step preconditions."""
+        if not self._started.all():
+            i = int(np.flatnonzero(~self._started)[0])
+            raise RuntimeError(f"step() called before reset() on sub-env {i}")
+        space = self.single_action_space
+        if actions.dtype.kind not in "iu":
+            # Discrete spaces reject floats/bools element-wise on the
+            # per-env path; mirror that wholesale for the batch.
+            raise ValueError(
+                f"actions must be an integer array for {space}, got dtype "
+                f"{actions.dtype}"
+            )
+        if ((actions < 0) | (actions >= space.n)).any():
+            bad = next(a for a in actions if not space.contains(int(a)))
+            raise ValueError(f"action {bad!r} is not contained in {space}")
+
+    def _step_batched_generic(self, actions: np.ndarray) -> VectorStepResult:
+        """One vectorized step through the env class's ``batch_dynamics`` hook.
+
+        The hook receives the persistent state/step mirrors plus each
+        sub-env's own generator (in sub-env order), so the RNG streams
+        advance exactly as N scalar ``step()`` calls would — the serial
+        ``_step`` of a capability-flagged env delegates to the same function
+        on a one-row batch, which is what makes the two paths bit-identical.
+        Unlike the CartPole path, rewards come from the dynamics, not a
+        constant.
+        """
+        if self.validate:
+            self._validate_batch_actions(actions)
+        env0 = self.envs[0]
+        new_states, rewards, terminated = type(env0).batch_dynamics(
+            self._states, self._steps, actions, env0.params,
+            [env._rng for env in self.envs])
+        self._steps += 1
+        max_steps = env0.max_episode_steps
+        terminated = np.asarray(terminated, dtype=bool)
+        if max_steps is None:
+            truncated = np.zeros(self.num_envs, dtype=bool)
+        else:
+            truncated = self._steps >= max_steps
+        dones = terminated | truncated
+        self._states = np.asarray(new_states, dtype=np.float64)
+        observations = self._states.copy()
+        steps_list = self._steps.tolist()
+        infos: List[Dict[str, Any]] = [{"steps": steps_list[i]}
+                                       for i in range(self.num_envs)]
+        if dones.any():
+            for i in np.flatnonzero(dones):
+                if self.autoreset:
+                    infos[i]["final_observation"] = self._states[i].copy()
+                    obs, _ = self.envs[i].reset()
+                    self._states[i] = obs
+                    observations[i] = obs
+                    self._steps[i] = 0
+                else:
+                    self._started[i] = False
+        return VectorStepResult(observations, np.asarray(rewards, dtype=np.float64),
                                 terminated, truncated, infos)
 
     def _scalar_dynamics(self, actions: np.ndarray,

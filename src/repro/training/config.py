@@ -9,7 +9,7 @@ language lives next to the loop that interprets it.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Any, Optional, Tuple
 
 
 @dataclass(frozen=True)
@@ -38,8 +38,18 @@ class TrainingConfig:
     record_lipschitz: bool = False        #: record the Lipschitz bound each episode (ablation A1)
     action_repeat: int = 1                #: env steps per agent decision (frame skip)
     seed: Optional[int] = None
+    #: Extra env-constructor kwargs as a sorted (key, value) tuple — hashable
+    #: and picklable, set from ``ExperimentSpec.env_overrides``.  A dict is
+    #: accepted and normalized.  The empty default is excluded from trial
+    #: descriptors so pre-existing artifact keys are unchanged.
+    env_params: Tuple[Tuple[str, Any], ...] = ()
 
     def __post_init__(self) -> None:
+        params = self.env_params
+        if isinstance(params, dict):
+            params = params.items()
+        object.__setattr__(self, "env_params",
+                           tuple(sorted((str(key), value) for key, value in params)))
         if self.max_episodes <= 0:
             raise ValueError("max_episodes must be positive")
         if self.solved_window <= 0:

@@ -101,7 +101,7 @@ def resolve_env(env: Union[str, Env, None], config: TrainingConfig) -> Env:
     if env is None:
         env = config.env_id
     if isinstance(env, str):
-        kwargs = {}
+        kwargs = dict(config.env_params)
         if config.max_steps_per_episode is not None:
             kwargs["max_episode_steps"] = config.max_steps_per_episode
         return make_env(env, seed=config.seed, **kwargs)
@@ -480,10 +480,11 @@ def _build_vector_env(configs: Sequence[TrainingConfig], *,
 
     env_fns = []
     for config in configs:
-        kwargs = ()
+        kwargs = dict(config.env_params)
         if config.max_steps_per_episode is not None:
-            kwargs = (("max_episode_steps", config.max_steps_per_episode),)
-        env_fns.append(EnvFactory(config.env_id, seed=config.seed, kwargs=kwargs))
+            kwargs["max_episode_steps"] = config.max_steps_per_episode
+        env_fns.append(EnvFactory(config.env_id, seed=config.seed,
+                                  kwargs=tuple(sorted(kwargs.items()))))
     if action_repeat > 1:
         from repro.parallel.subproc import SubprocVectorEnv
 

@@ -178,6 +178,26 @@ class TestRegistry:
             get_spec("custom-test-spec")
 
 
+class TestPinnedSpecHashes:
+    """The built-in specs' content hashes, pinned against the values the
+    registry produced before the env-family generalization (env_overrides,
+    registry-derived dimensions).  A changed hash silently orphans every
+    cached trial of that spec — any diff here must be deliberate."""
+
+    PINNED = {
+        ("figure4", "paper"): "b886779f63af43a9",
+        ("figure4", "ci"): "4c017fa5d8bf5ce7",
+        ("figure5", "paper"): "1d560342ab4157be",
+        ("figure5", "ci"): "4bcc172f31dabbe0",
+        ("table3", "paper"): "649916b9cab4a3a5",
+        ("table3", "ci"): "649916b9cab4a3a5",
+    }
+
+    @pytest.mark.parametrize("name,scale", sorted(PINNED))
+    def test_builtin_spec_hash_unchanged(self, name, scale):
+        assert get_spec(name, scale=scale).spec_hash == self.PINNED[(name, scale)]
+
+
 class TestSpecMaxWorkers:
     def test_default_is_none_and_round_trips(self):
         spec = ExperimentSpec(name="mw", designs=("ELM",), hidden_sizes=(8,))
