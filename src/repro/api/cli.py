@@ -23,9 +23,17 @@ Subcommands
     them through the serial code path, and stream results back.
 ``repro fleet status --connect HOST:PORT [--watch] [--json]``
     Query a live broker's ``STATS`` channel: tasks queued/leased/done,
-    per-worker liveness and lease age, requeue/dedup/backpressure counters.
-    ``--watch`` refreshes every ``--interval`` seconds; ``--json`` prints
-    the raw snapshot for scripts.
+    per-worker liveness, drain state and lease age, requeue/dedup/
+    backpressure/drain counters.  ``--watch`` refreshes every
+    ``--interval`` seconds; ``--json`` prints the raw snapshot for scripts.
+``repro fleet autoscale --connect HOST:PORT [--min N] [--max N]``
+    Attach an elastic fleet to a live broker: poll its STATS channel,
+    spawn local workers when the queue backs up, and gracefully drain
+    idle ones (the broker stops leasing to them; they finish in-flight
+    work, deliver, and exit — no lost leases).  Runs until the broker
+    goes away or Ctrl-C; exits printing the fleet summary line.
+    ``repro run --backend distributed --autoscale`` embeds the same loop
+    in a single command.
 ``repro serve <name|spec.json> [--ci] [--store DIR] [--bind HOST:PORT]``
     Host the spec's trained policies (written by ``repro run
     --save-policy``) as an online action service: ``ACT`` requests are
@@ -108,6 +116,10 @@ def _finish(report: RunReport, args: argparse.Namespace) -> int:
                   f"in {report.wall_time_seconds:.2f}s")
             if report.store_root is not None:
                 print(f"artifacts: {report.store_root}")
+    if report.fleet_report is not None:
+        # Printed even under --quiet: this one line is what the CI
+        # elastic-fleet job asserts scale-ups/graceful drains against.
+        print(report.fleet_report.summary())
     if args.csv is not None:
         Path(args.csv).parent.mkdir(parents=True, exist_ok=True)
         Path(args.csv).write_text(report.summary_csv(), encoding="utf-8")
@@ -134,6 +146,25 @@ def _store_root(args: argparse.Namespace) -> str:
     return args.out if args.out is not None else str(default_store_root())
 
 
+def _build_autoscale_config(args: argparse.Namespace):
+    from repro.fleet import AutoscaleConfig
+
+    return AutoscaleConfig(
+        min_workers=args.autoscale_min, max_workers=args.autoscale_max,
+        poll_interval=args.autoscale_interval,
+        idle_grace_seconds=args.autoscale_idle_grace,
+        high_water=args.autoscale_high_water,
+        low_water=args.autoscale_low_water,
+        cooldown_seconds=args.autoscale_cooldown)
+
+
+def _autoscale_config(args: argparse.Namespace):
+    """``--autoscale*`` flags -> AutoscaleConfig (or None when not asked)."""
+    if not getattr(args, "autoscale", False):
+        return None
+    return _build_autoscale_config(args)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     from repro.distributed.preflight import PreflightError
 
@@ -145,7 +176,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
                      bind=args.bind, checkpoint_every=args.checkpoint_every,
                      lease_batch=args.lease_batch,
                      progress_every=args.progress_every,
-                     save_policy=args.save_policy)
+                     save_policy=args.save_policy,
+                     autoscale=_autoscale_config(args))
     except (PreflightError, ValueError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -209,6 +241,62 @@ def _cmd_fleet_status(args: argparse.Namespace) -> int:
             return 0
         if not args.json:
             print()
+
+
+def _cmd_fleet_autoscale(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from repro.distributed import parse_address
+    from repro.fleet import FleetAutoscaler
+    from repro.telemetry.fleet import FleetStatusError, fetch_fleet_stats
+
+    try:
+        host, port = parse_address(args.connect)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    try:
+        fetch_fleet_stats(host, port, timeout=5.0)
+    except FleetStatusError as error:
+        # Refuse up front when no broker answers: an autoscaler pointed at
+        # nothing would silently poll forever.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    autoscaler = FleetAutoscaler(host, port,
+                                 config=_build_autoscale_config(args))
+    print(f"autoscaling fleet for broker {host}:{port} "
+          f"(min={args.autoscale_min}, max={args.autoscale_max}; "
+          "Ctrl-C to stop)")
+    autoscaler.start()
+    misses = 0
+    try:
+        while True:
+            _time.sleep(args.autoscale_interval)
+            snapshot = autoscaler.last_snapshot
+            try:
+                fetch_fleet_stats(host, port, timeout=5.0)
+                misses = 0
+            except FleetStatusError:
+                # The broker tears its port down the moment the sweep
+                # drains; a few consecutive misses mean it is gone for
+                # good, not mid-restart.
+                misses += 1
+                if misses >= 3:
+                    break
+            if args.watch and snapshot is not None:
+                tasks = snapshot.get("tasks", {})
+                print("tick: {done}/{total} done, {queued} queued, "
+                      "{alive} workers alive".format(
+                          done=tasks.get("done", 0),
+                          total=tasks.get("total", 0),
+                          queued=tasks.get("queued", 0),
+                          alive=autoscaler.supervisor.alive_count()))
+    except KeyboardInterrupt:
+        pass
+    finally:
+        autoscaler.stop(retire_fleet=True)
+    print(autoscaler.report.summary())
+    return 0
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -328,6 +416,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="stream per-trial training progress to stderr "
                              "every N episodes (serial/vectorized backends; "
                              "0 = off)")
+    runner.add_argument("--autoscale", action="store_true",
+                        help="distributed backend: replace the fixed "
+                             "--workers fleet with an elastic autoscaler "
+                             "(scale up on queue backlog, gracefully drain "
+                             "idle workers; results stay byte-identical)")
+    _add_autoscale_flags(runner)
     runner.add_argument("--save-policy", action="store_true",
                         help="also persist each freshly trained trial's "
                              "final agent (trials/<key>/policy.pkl) so "
@@ -404,7 +498,46 @@ def build_parser() -> argparse.ArgumentParser:
     status.add_argument("--timeout", type=float, default=5.0, metavar="S",
                         help="per-query socket timeout (default: 5)")
     status.set_defaults(handler=_cmd_fleet_status)
+    autoscale = fleet_commands.add_parser(
+        "autoscale", help="attach an elastic worker fleet to a live broker")
+    autoscale.add_argument("--connect", required=True, metavar="HOST:PORT",
+                           help="broker address published by `repro run "
+                                "--backend distributed --bind ...`")
+    _add_autoscale_flags(autoscale)
+    autoscale.add_argument("--watch", action="store_true",
+                           help="print a fleet status line every poll")
+    autoscale.set_defaults(handler=_cmd_fleet_autoscale)
     return parser
+
+
+def _add_autoscale_flags(parser: argparse.ArgumentParser) -> None:
+    """The shared autoscaler knobs of `repro run` and `repro fleet autoscale`."""
+    parser.add_argument("--autoscale-min", "--min", type=int, default=1,
+                        metavar="N", dest="autoscale_min",
+                        help="fleet floor, topped up immediately (default 1)")
+    parser.add_argument("--autoscale-max", "--max", type=int, default=4,
+                        metavar="N", dest="autoscale_max",
+                        help="fleet ceiling (default 4)")
+    parser.add_argument("--autoscale-interval", type=float, default=0.5,
+                        metavar="S", dest="autoscale_interval",
+                        help="seconds between control ticks (default 0.5)")
+    parser.add_argument("--autoscale-idle-grace", type=float, default=2.0,
+                        metavar="S", dest="autoscale_idle_grace",
+                        help="continuous idle seconds before a worker is "
+                             "drained (default 2)")
+    parser.add_argument("--autoscale-high-water", type=float, default=2.0,
+                        metavar="R", dest="autoscale_high_water",
+                        help="queued/alive ratio that triggers scale-up "
+                             "(default 2.0)")
+    parser.add_argument("--autoscale-low-water", type=float, default=0.5,
+                        metavar="R", dest="autoscale_low_water",
+                        help="queued/alive ratio allowing scale-down "
+                             "(default 0.5; the gap to --autoscale-high-water "
+                             "is the hysteresis band)")
+    parser.add_argument("--autoscale-cooldown", type=float, default=3.0,
+                        metavar="S", dest="autoscale_cooldown",
+                        help="minimum seconds between scaling actions "
+                             "(default 3)")
 
 
 def main(argv: Optional[List[str]] = None) -> int:

@@ -56,6 +56,9 @@ class RunReport:
     wall_time_seconds: float = 0.0
     store_root: Optional[str] = None
     resource_report: Optional[object] = None   #: set for kind="resource_table"
+    #: Autoscaled distributed runs only: the :class:`~repro.fleet.FleetReport`
+    #: of scale-up/drain events (``None`` otherwise).
+    fleet_report: Optional[object] = None
 
     @property
     def cached_count(self) -> int:
@@ -105,7 +108,7 @@ def run(spec_or_name: Union[str, ExperimentSpec], *, backend: str = "auto",
         cache_only: bool = False, max_workers: Optional[int] = None,
         bind: Optional[str] = None, checkpoint_every: int = 0,
         lease_batch: int = 1, progress_every: int = 0,
-        save_policy: bool = False) -> RunReport:
+        save_policy: bool = False, autoscale=None) -> RunReport:
     """Execute an experiment spec (or registered name) and return its report.
 
     Parameters
@@ -159,6 +162,14 @@ def run(spec_or_name: Union[str, ExperimentSpec], *, backend: str = "auto",
         distributed backend's agents live in worker processes).  Cached
         trials are *not* retrained just to produce a policy — pass
         ``resume=False`` to force a training pass that saves them.
+    autoscale:
+        Distributed backend only: ``True`` or a
+        :class:`~repro.fleet.AutoscaleConfig` to run the worker fleet
+        under the elastic autoscaler instead of a fixed ``max_workers``
+        (see :class:`~repro.fleet.FleetAutoscaler`).  The fleet's
+        :class:`~repro.fleet.FleetReport` is returned on
+        :attr:`RunReport.fleet_report`; trial results are byte-identical
+        to every other backend regardless of the scaling schedule.
     """
     if backend not in BACKENDS:
         raise ValueError(f"unknown backend {backend!r}; choose from {BACKENDS}")
@@ -170,6 +181,9 @@ def run(spec_or_name: Union[str, ExperimentSpec], *, backend: str = "auto",
         store = ArtifactStore(out)
     if save_policy and store is None:
         raise ValueError("save_policy requires a store (pass out= or store=)")
+    if autoscale and backend != "distributed":
+        raise ValueError("autoscale requires --backend distributed "
+                         "(only the broker's worker fleet is elastic)")
     if max_workers is None:
         max_workers = spec.max_workers
 
@@ -226,9 +240,13 @@ def run(spec_or_name: Union[str, ExperimentSpec], *, backend: str = "auto",
                             resume_trial_state=resume,
                             lease_batch=lease_batch,
                             progress_every=progress_every,
-                            save_policies=save_policy).run(checkpoint)
+                            save_policies=save_policy,
+                            autoscale=autoscale).run(checkpoint)
         for (task, result), backend_used in zip(sweep.entries, sweep.backends_used):
             records[task.key()] = TrialRecord(task, result, backend_used)
+        fleet_report = sweep.fleet_report
+    else:
+        fleet_report = None
 
     report = RunReport(
         spec=spec,
@@ -236,6 +254,7 @@ def run(spec_or_name: Union[str, ExperimentSpec], *, backend: str = "auto",
         trials=[records[task.key()] for task in tasks],
         wall_time_seconds=time.perf_counter() - start,
         store_root=str(store.root) if store is not None else None,
+        fleet_report=fleet_report,
     )
     if store is not None and not cache_only:
         # cache_only is `repro report` — a read, which must not overwrite the

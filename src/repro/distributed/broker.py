@@ -144,6 +144,16 @@ class SweepBroker:
         self.duplicate_results = 0
         self.requeued_tasks = 0
         self.wait_replies = 0
+        #: Drain accounting (1.7+): how many workers were marked for drain,
+        #: how many closed their connection with no live lease (a *graceful*
+        #: drain), and how many tasks had to be requeued from a draining
+        #: worker anyway (dying mid-drain) — the elastic-fleet contract is
+        #: that this last counter stays 0 under any scaling schedule.
+        self.drains_requested = 0
+        self.drains_completed = 0
+        self.drain_requeued_tasks = 0
+        #: Seconds each completed drain took (marked -> clean disconnect).
+        self.drain_durations: List[float] = []
         self.workers_seen: Set[str] = set()
         #: Currently connected worker connections (registered or not) — lets
         #: the coordinator distinguish "fleet crashed" from "externals serving".
@@ -152,6 +162,10 @@ class SweepBroker:
         #: ``worker_id -> {connected, last_seen (monotonic), completed}``.
         #: Observer connections (``repro fleet status``) never appear here.
         self._workers: Dict[str, Dict[str, object]] = {}
+        #: Workers marked for drain: ``worker_id -> monotonic mark time``.
+        #: Marked workers get a ``DRAIN`` reply to their next ``GET`` (if
+        #: they negotiated the capability) instead of new leases.
+        self._draining: Dict[str, float] = {}
 
         self._server: Optional[socket.socket] = None
         self._threads: List[threading.Thread] = []
@@ -247,6 +261,8 @@ class SweepBroker:
                     lease.owner.discard(lease.index)   # holder forfeits it
                     self._pending.append(lease.index)
                     self.requeued_tasks += 1
+                    if lease.worker_id in self._draining:
+                        self.drain_requeued_tasks += 1
             for lease in expired:
                 _LOGGER.warning("lease expired; task requeued",
                                 task=lease.index, worker=lease.worker_id)
@@ -258,6 +274,12 @@ class SweepBroker:
         worker_id = "<unregistered>"
         is_observer = False
         held: Set[int] = set()          # leases owned by this connection
+        # Whether this connection negotiated the DRAIN capability (a 1.7+
+        # worker upgrades its GET payload to a dict after seeing our
+        # "drain" WELCOME flag); only such connections ever receive a
+        # DRAIN frame — a legacy worker marked for drain keeps being
+        # served normally and is retired by its supervisor via SIGTERM.
+        conn_state = {"drain_capable": False}
         with self._lock:
             self.active_connections += 1
         try:
@@ -280,23 +302,38 @@ class SweepBroker:
                                     "last_seen": time.monotonic(),
                                     "completed": 0,
                                 }
-                        # "stats": True advertises the STATS channel; pre-1.5
-                        # workers only read info["tasks"] and ignore the rest.
+                        # "stats"/"drain": True advertise the respective
+                        # channels; pre-1.5 workers only read info["tasks"]
+                        # and ignore the rest.
                         protocol.send_message(connection, protocol.WELCOME,
                                               {"tasks": len(self.tasks),
-                                               "stats": True})
+                                               "stats": True,
+                                               "drain": True})
                         continue
                     if not is_observer and worker_id in self._workers:
                         self._workers[worker_id]["last_seen"] = time.monotonic()
                     if kind == protocol.HEARTBEAT:
                         self._extend_leases(held)
                     elif kind == protocol.GET:
-                        self._handle_get(connection, worker_id, held, payload)
+                        self._handle_get(connection, worker_id, held, payload,
+                                         conn_state)
                     elif kind == protocol.RESULT:
                         self._handle_result(connection, payload, held, worker_id)
                     elif kind == protocol.STATS:
                         protocol.send_message(connection, protocol.STATS,
                                               self.stats_snapshot())
+                    elif kind == protocol.DRAIN:
+                        if isinstance(payload, (list, tuple, set)):
+                            # Control form (observer/autoscaler): mark the
+                            # listed workers for retirement and report back.
+                            info = self.mark_draining(list(payload))
+                            protocol.send_message(connection, protocol.DRAIN,
+                                                  info)
+                        else:
+                            # A worker announcing a self-initiated drain
+                            # (SIGTERM landed): unsolicited, no reply — the
+                            # worker may disconnect right after sending it.
+                            self.mark_draining([worker_id])
                     else:
                         raise protocol.ProtocolError(
                             f"unexpected frame {kind!r} from worker")
@@ -306,18 +343,32 @@ class SweepBroker:
                 info = self._workers.get(worker_id)
                 if info is not None:
                     info["connected"] = False
-            self._requeue_held(held, worker_id)
+            requeued = self._requeue_held(held, worker_id)
+            self._finish_drain(worker_id, requeued)
 
     def _handle_get(self, connection: socket.socket, worker_id: str,
-                    held: Set[int], capacity: object = None) -> None:
+                    held: Set[int], capacity: object = None,
+                    conn_state: Optional[Dict[str, bool]] = None) -> None:
         # `capacity` is the worker's advertised max lease batch.  Pre-1.4
         # workers send GET with a None payload and can only parse TASK
         # frames, so they cap the batch at 1 regardless of lease_batch.
+        # 1.7+ workers that saw our "drain" WELCOME flag send a capability
+        # dict {"capacity": k, "drain": True} instead of the bare integer.
+        if isinstance(capacity, dict):
+            if conn_state is not None and capacity.get("drain"):
+                conn_state["drain_capable"] = True
+            capacity = capacity.get("capacity")
         advertised = capacity if isinstance(capacity, int) and capacity >= 1 else 1
         batch = min(self.lease_batch, advertised)
+        drain_capable = bool(conn_state and conn_state.get("drain_capable"))
         with self._lock:
             if len(self._results) == len(self.tasks):
                 reply = (protocol.SHUTDOWN, None)
+            elif drain_capable and worker_id in self._draining:
+                # Marked for retirement: no new leases.  The worker delivered
+                # every in-flight result before this GET (batch boundary), so
+                # it disconnects holding nothing — a graceful drain.
+                reply = (protocol.DRAIN, None)
             elif self._pending:
                 leased: List[Tuple[int, SweepTask]] = []
                 now = time.monotonic()
@@ -377,6 +428,70 @@ class SweepBroker:
                          done=f"{self.completed_count}/{len(self.tasks)}")
         protocol.send_message(connection, protocol.ACK, fresh)
 
+    # ------------------------------------------------------------------ drain
+    def mark_draining(self, worker_ids: Sequence[str]) -> Dict[str, List[str]]:
+        """Mark workers for graceful retirement; returns what happened.
+
+        A marked worker stops receiving leases: its next ``GET`` is answered
+        with a ``DRAIN`` frame (if it negotiated the capability) and it
+        disconnects once its in-flight results are delivered.  Ids that are
+        unknown, already draining, or belong to an already-disconnected
+        worker are reported rather than silently dropped, so the autoscaler
+        can tell a drain that will happen from one that cannot.
+        """
+        marked: List[str] = []
+        unknown: List[str] = []
+        already: List[str] = []
+        gone: List[str] = []
+        now = time.monotonic()
+        with self._lock:
+            for worker_id in worker_ids:
+                worker_id = str(worker_id)
+                info = self._workers.get(worker_id)
+                if worker_id in self._draining:
+                    already.append(worker_id)
+                elif info is None:
+                    unknown.append(worker_id)
+                elif not info["connected"]:
+                    gone.append(worker_id)
+                else:
+                    self._draining[worker_id] = now
+                    self.drains_requested += 1
+                    marked.append(worker_id)
+        for worker_id in marked:
+            _LOGGER.info("worker marked for drain", worker=worker_id)
+        return {"marked": marked, "already_draining": already,
+                "unknown": unknown, "gone": gone}
+
+    def draining_workers(self) -> List[str]:
+        """Worker ids currently marked for drain (mark cleared on disconnect)."""
+        with self._lock:
+            return sorted(self._draining)
+
+    def _finish_drain(self, worker_id: str, requeued: int) -> None:
+        """A connection closed: settle its drain mark, if it carried one.
+
+        Zero requeued leases at disconnect means the worker delivered
+        everything it held — the drain was graceful and its duration is
+        recorded.  Requeued leases mean the draining worker died mid-task;
+        those requeues are additionally counted in ``drain_requeued_tasks``
+        (the counter the elastic-fleet tests pin to zero).
+        """
+        with self._lock:
+            started = self._draining.pop(worker_id, None)
+            if started is None:
+                return
+            if requeued:
+                self.drain_requeued_tasks += requeued
+            else:
+                self.drains_completed += 1
+                self.drain_durations.append(time.monotonic() - started)
+        if requeued:
+            _LOGGER.warning("draining worker died holding leases",
+                            worker=worker_id, requeued=requeued)
+        else:
+            _LOGGER.info("worker drained gracefully", worker=worker_id)
+
     # ------------------------------------------------------------------ stats
     def stats_snapshot(self) -> Dict[str, object]:
         """JSON-ready fleet snapshot served on the ``STATS`` channel.
@@ -398,6 +513,7 @@ class SweepBroker:
             for worker_id, info in self._workers.items():
                 workers[worker_id] = {
                     "connected": bool(info["connected"]),
+                    "draining": worker_id in self._draining,
                     "last_seen_seconds_ago": round(
                         now - float(info["last_seen"]), 3),
                     "completed": int(info["completed"]),
@@ -425,7 +541,11 @@ class SweepBroker:
                     "wait_replies": self.wait_replies,
                     "workers_seen": len(self.workers_seen),
                     "active_connections": self.active_connections,
+                    "drains_requested": self.drains_requested,
+                    "drains_completed": self.drains_completed,
+                    "drain_requeued_tasks": self.drain_requeued_tasks,
                 },
+                "drain_seconds": [round(s, 3) for s in self.drain_durations],
                 "workers": workers,
                 "lease_batch": self.lease_batch,
                 "heartbeat_timeout": self.heartbeat_timeout,
@@ -448,13 +568,14 @@ class SweepBroker:
             if lease is not None and lease.owner is held:
                 lease.deadline = deadline
 
-    def _requeue_held(self, held: Set[int], worker_id: str) -> None:
+    def _requeue_held(self, held: Set[int], worker_id: str) -> int:
         """Connection gone: put its unfinished leases back on the queue.
 
         Only leases this connection still *owns* are requeued — an index
         whose lease expired and was re-issued to another worker must not be
         yanked from under the new holder, and a completed index must not be
-        retrained.
+        retrained.  Returns the number of requeued leases so the drain
+        accounting can tell a graceful disconnect from a mid-task death.
         """
         with self._lock:
             requeued = []
@@ -468,6 +589,7 @@ class SweepBroker:
         for index in requeued:
             _LOGGER.warning("worker disconnected; task requeued",
                             task=index, worker=worker_id)
+        return len(requeued)
 
 
 __all__ = ["SweepBroker", "WAIT_HINT_SECONDS"]

@@ -79,6 +79,8 @@ def run_distributed_sweep(
         heartbeat_timeout: float = DEFAULT_HEARTBEAT_TIMEOUT,
         timeout: Optional[float] = None,
         lease_batch: int = 1,
+        autoscale=None,
+        on_fleet_report: Optional[Callable[[object], None]] = None,
 ) -> List[Tuple[TrainingResult, str]]:
     """Execute ``tasks`` on a worker fleet; ``(result, backend_used)`` per task.
 
@@ -103,6 +105,21 @@ def run_distributed_sweep(
     lease_batch:
         Tasks the broker leases per worker request (see
         :class:`~repro.distributed.broker.SweepBroker`); default 1.
+    autoscale:
+        ``True`` or an :class:`~repro.fleet.AutoscaleConfig` to replace the
+        fixed ``n_workers`` fleet with a
+        :class:`~repro.fleet.FleetAutoscaler`: the fleet starts at the
+        config's ``min_workers``, grows toward ``max_workers`` on queue
+        backlog and drains idle workers gracefully — results are
+        byte-identical to a fixed fleet (and to the serial backend) under
+        any scaling schedule.  ``n_workers`` is ignored for local spawning
+        (external ``bind`` workers may still connect and are observed, but
+        only autoscaler-spawned processes are retired by signal).
+    on_fleet_report:
+        Callback receiving the final :class:`~repro.fleet.FleetReport`
+        after an autoscaled sweep (ignored without ``autoscale``); the
+        report's broker counters are authoritative, filled directly from
+        the broker after the grid drains.
     """
     tasks = list(tasks)
     if not tasks:
@@ -115,7 +132,7 @@ def run_distributed_sweep(
         host, port = "127.0.0.1", 0
         if n_workers is None:
             n_workers = default_max_workers(len(tasks))
-        if n_workers <= 0:
+        if n_workers <= 0 and not autoscale:
             raise ValueError("n_workers must be positive when no bind address "
                              "is given (nobody could ever serve the queue)")
 
@@ -124,7 +141,22 @@ def run_distributed_sweep(
                          lease_batch=lease_batch)
     broker.start()
     bound_host, bound_port = broker.address
-    workers = spawn_local_workers(bound_host, bound_port, n_workers)
+    autoscaler = None
+    if autoscale:
+        # Deferred import: repro.fleet's supervisor spawns through this
+        # module's _local_worker_main, so a top-level import would cycle.
+        from repro.fleet import AutoscaleConfig, FleetAutoscaler
+
+        config = (autoscale if isinstance(autoscale, AutoscaleConfig)
+                  else AutoscaleConfig())
+        autoscaler = FleetAutoscaler(bound_host, bound_port, config=config)
+        autoscaler.start()
+        workers: List[mp.Process] = []   # the autoscaler owns the fleet
+        _LOGGER.info("fleet autoscaling enabled",
+                     min_workers=config.min_workers,
+                     max_workers=config.max_workers)
+    else:
+        workers = spawn_local_workers(bound_host, bound_port, n_workers)
     if bind is not None:
         _LOGGER.info("broker accepting external workers",
                      address=f"{bound_host}:{bound_port}",
@@ -141,6 +173,8 @@ def run_distributed_sweep(
                 # The auto-spawned fleet is gone and nothing external is
                 # connected either — with a bind address a live external
                 # worker keeps the sweep waiting, a fully dead fleet never.
+                # (An autoscaled fleet has no fixed `workers` list; its
+                # min_workers floor respawns crashed workers instead.)
                 raise RuntimeError(
                     "every local worker exited before the sweep finished "
                     f"({broker.completed_count}/{len(tasks)} trials done) "
@@ -148,6 +182,20 @@ def run_distributed_sweep(
                     "for the crash")
         return broker.results()
     finally:
+        if autoscaler is not None:
+            # Stop the control loop and retire leftovers *before* closing
+            # the broker, so the shutdown itself drains gracefully; then
+            # overwrite the report's counters with broker-side truth.
+            autoscaler.stop(retire_fleet=True)
+            autoscaler.report.broker_counters = {
+                "drains_requested": broker.drains_requested,
+                "drains_completed": broker.drains_completed,
+                "drain_requeued_tasks": broker.drain_requeued_tasks,
+                "requeued_tasks": broker.requeued_tasks,
+            }
+            _LOGGER.info("fleet report", summary=autoscaler.report.summary())
+            if on_fleet_report is not None:
+                on_fleet_report(autoscaler.report)
         broker.close()
         for worker in workers:
             worker.join(timeout=2.0)

@@ -43,6 +43,18 @@ worker sends          broker replies           meaning
 ``(STATS, None)``       ``(STATS, snapshot)``    fleet observability snapshot
                                                  (tasks queued/leased/done,
                                                  per-worker liveness, counters)
+``(DRAIN, None)``       *(no reply)*             worker announces it is
+                                                 draining itself (SIGTERM):
+                                                 it will deliver its in-flight
+                                                 results and disconnect
+..                      ``(DRAIN, None)``        broker's reply to ``GET``
+                                                 from a worker marked for
+                                                 retirement: deliver nothing
+                                                 more, disconnect gracefully
+``(DRAIN, [ids])``      ``(DRAIN, info)``        control request (observer/
+                                                 autoscaler): mark workers
+                                                 for drain; ``info`` lists
+                                                 ``marked``/``unknown`` ids
 ===================  =======================  ================================
 
 ``STATS`` is negotiated exactly like lease batching: a 1.5+ broker
@@ -51,6 +63,34 @@ saw the flag send the frame — pre-1.5 workers never request stats and
 pre-1.5 brokers never see one, so mixed fleets stay wire-compatible.  The
 ``repro fleet status`` observer registers with a worker id prefixed
 :data:`OBSERVER_PREFIX` so brokers keep it out of the worker accounting.
+
+Drain frames (1.7+)
+-------------------
+``DRAIN`` is the graceful half of elastic scaling (:mod:`repro.fleet`):
+retiring a worker must never lose a lease.  It is double-negotiated
+through the existing capability dicts, so every mixed-version pairing
+degrades to pre-1.7 behaviour instead of erroring:
+
+* a 1.7+ **broker** advertises ``"drain": True`` in its ``WELCOME`` info
+  (alongside ``"stats"``); a pre-1.7 worker reads only ``info["tasks"]``
+  and never sees a ``DRAIN`` frame, because...
+* ...a 1.7+ **worker** that saw the flag upgrades its ``GET`` payload from
+  the bare capacity integer to ``{"capacity": k, "drain": True}``, and the
+  broker only ever answers ``DRAIN`` on connections that advertised it.
+  A 1.7+ worker on a pre-1.7 broker keeps sending the bare integer (the
+  old broker would misread the dict as capacity 1), so the old wire
+  protocol is preserved bit-for-bit in every legacy pairing.
+
+The retirement choreography: the autoscaler marks a worker through the
+control form ``(DRAIN, [worker_ids])`` on an observer connection; the
+broker stops leasing to it and answers its next ``GET`` with
+``(DRAIN, None)``; the worker — which by then has delivered every result
+of its in-flight lease batch, since ``GET`` only happens at batch
+boundaries — disconnects cleanly and exits.  A worker retired by SIGTERM
+instead finishes its in-flight batch, delivers the results, announces
+``(DRAIN, None)`` and disconnects.  Either way the broker observes a
+draining worker close its connection with no live leases: a *graceful*
+drain, counted (with its duration) in the ``STATS`` snapshot.
 
 Serving frames (1.6+)
 ---------------------
@@ -102,6 +142,13 @@ RESULT = "result"
 HEARTBEAT = "heartbeat"
 #: Bidirectional (1.5+): request payload ``None``, reply payload the snapshot.
 STATS = "stats"
+#: Bidirectional (1.7+), negotiated via the WELCOME/GET capability dicts:
+#: worker -> broker with payload ``None`` announces a self-initiated drain
+#: (no reply, like HEARTBEAT); broker -> worker as the reply to a ``GET``
+#: from a worker marked for retirement; observer -> broker with a payload
+#: list of worker ids marks those workers for drain (replied with a DRAIN
+#: info frame).
+DRAIN = "drain"
 #: Broker -> worker kinds.
 WELCOME = "welcome"
 TASK = "task"
@@ -264,7 +311,7 @@ def parse_address(address: str) -> Tuple[str, int]:
 
 
 __all__ = [
-    "ACK", "ACT", "ACTION", "ERROR", "GET", "HEARTBEAT", "HELLO",
+    "ACK", "ACT", "ACTION", "DRAIN", "ERROR", "GET", "HEARTBEAT", "HELLO",
     "MAX_FRAME_BYTES", "MAX_FRAME_ENV_VAR", "OBSERVER_PREFIX",
     "ProtocolError", "RESULT", "SHUTDOWN", "STATS", "SWAP", "SWAPPED",
     "TASK", "TASKS", "TransportCounters", "WAIT", "WELCOME",

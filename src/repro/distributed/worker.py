@@ -15,6 +15,19 @@ the broker keeps the lease alive through arbitrarily long trials; if this
 process dies instead, the dropped connection (or, for a hang, the lease
 timeout) makes the broker requeue the task for another worker.
 
+Graceful retirement (1.7+): the worker installs SIGTERM/SIGINT handlers
+(main thread only) that request a *drain* instead of killing the process —
+the in-flight lease batch finishes, every result is delivered and acked,
+the broker is told ``DRAIN`` (when it negotiated the capability), and only
+then does the loop exit.  A second signal skips the grace and dies
+immediately (the broker's lease requeue covers the abandoned task).  The
+broker can also retire the worker from its side: a ``DRAIN`` reply to
+``GET`` — negotiated through the ``WELCOME`` capability dict, so pre-1.7
+brokers never send one and pre-1.7 workers never see one — makes the loop
+exit at the same clean batch boundary.  Either way, retiring a worker
+loses no leases: this is the actuation primitive of
+:class:`repro.fleet.FleetAutoscaler`.
+
 Workers may attach their own :class:`~repro.api.store.ArtifactStore`
 (``repro worker --store DIR``).  A store-equipped worker answers tasks it
 has already trained from cache and checkpoints fresh results locally, so a
@@ -24,12 +37,13 @@ worker fleet sharing a filesystem converges even across broker restarts.
 from __future__ import annotations
 
 import os
+import signal
 import socket
 import threading
 import time
 import uuid
-from dataclasses import dataclass
-from typing import Optional, Tuple
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
 
 from repro import telemetry
 from repro.distributed import protocol
@@ -58,10 +72,45 @@ class WorkerOptions:
     heartbeat_interval: float = 2.0      #: seconds between keep-alive frames mid-trial
     max_tasks: Optional[int] = None      #: stop after N trials (tests/failure injection)
     connect_timeout: float = 10.0        #: seconds to wait for the broker socket
+    handle_signals: bool = True          #: SIGTERM/SIGINT -> graceful drain (main thread only)
+    drain_event: Optional[threading.Event] = field(default=None, compare=False)
+    """Optional externally-owned drain trigger (tests drive in-thread workers
+    with it; the CLI leaves it ``None`` and relies on the signal handlers)."""
 
 
 def default_worker_id() -> str:
     return f"{socket.gethostname()}-{os.getpid()}-{uuid.uuid4().hex[:8]}"
+
+
+def _install_drain_handlers(drain: threading.Event,
+                            worker_id: str) -> List[Tuple[int, object]]:
+    """SIGTERM/SIGINT -> set ``drain``; a second signal dies immediately.
+
+    Signal handlers can only live in the main thread — from anywhere else
+    (tests running ``run_worker`` in a thread) this is a no-op.  Returns the
+    ``(signum, previous_handler)`` pairs so the caller can restore them.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        return []
+
+    def handler(signum, frame):
+        if drain.is_set():
+            # Second signal: the operator means it.  Die now; the broker's
+            # lease requeue covers whatever was in flight.
+            signal.signal(signum, signal.SIG_DFL)
+            os.kill(os.getpid(), signum)
+            return
+        drain.set()
+        _LOGGER.info("signal received; draining", worker=worker_id,
+                     signum=signum)
+
+    previous: List[Tuple[int, object]] = []
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            previous.append((signum, signal.signal(signum, handler)))
+        except (ValueError, OSError):  # pragma: no cover - exotic platforms
+            continue
+    return previous
 
 
 def execute_task(task: SweepTask, store=None) -> Tuple[TrainingResult, bool]:
@@ -82,7 +131,7 @@ def execute_task(task: SweepTask, store=None) -> Tuple[TrainingResult, bool]:
 
 def run_worker(host: str, port: int,
                options: WorkerOptions = WorkerOptions()) -> int:
-    """Serve one broker until it says ``SHUTDOWN``; returns tasks completed."""
+    """Serve one broker until ``SHUTDOWN``/``DRAIN``; returns tasks completed."""
     from repro.api.store import ArtifactStore   # deferred: avoids an import cycle
 
     worker_id = options.worker_id or default_worker_id()
@@ -98,17 +147,45 @@ def run_worker(host: str, port: int,
         with send_lock:
             protocol.send_message(sock, kind, payload)
 
+    drain = options.drain_event if options.drain_event is not None else threading.Event()
+    restore = (_install_drain_handlers(drain, worker_id)
+               if options.handle_signals else [])
+
+    def announce_drain(negotiated: bool) -> None:
+        # Tell a drain-capable broker this disconnect is deliberate — it
+        # retires the worker as a *graceful* drain instead of a death.  A
+        # pre-1.7 broker never learns, which is fine: all leases were
+        # delivered, so the disconnect requeues nothing either way.
+        telemetry.count("distributed.worker.drains")
+        if not negotiated:
+            return
+        try:
+            send(protocol.DRAIN)
+        except (ConnectionError, OSError):
+            pass
+
     completed = 0
     try:
         send(protocol.HELLO, worker_id)
         kind, info = protocol.recv_message(sock)
         if kind != protocol.WELCOME:
             raise protocol.ProtocolError(f"expected WELCOME, got {kind!r}")
+        # 1.7+ brokers advertise "drain" in WELCOME; only then may the GET
+        # payload be upgraded to a capability dict (an old broker would
+        # misread the dict, so the flag gates the whole exchange).
+        drain_negotiated = bool(isinstance(info, dict) and info.get("drain"))
+        get_payload = ({"capacity": LEASE_CAPACITY, "drain": True}
+                       if drain_negotiated else LEASE_CAPACITY)
         _LOGGER.info("worker registered", worker=worker_id,
-                     tasks=info.get("tasks"))
+                     tasks=info.get("tasks"), drain=drain_negotiated)
         while options.max_tasks is None or completed < options.max_tasks:
+            if drain.is_set():
+                _LOGGER.info("drain requested; exiting cleanly",
+                             worker=worker_id, completed=completed)
+                announce_drain(drain_negotiated)
+                break
             try:
-                send(protocol.GET, LEASE_CAPACITY)
+                send(protocol.GET, get_payload)
                 kind, payload = protocol.recv_message(sock)
             except (ConnectionError, OSError):
                 # The broker is gone — sweep finished (it tears the port
@@ -117,6 +194,14 @@ def run_worker(host: str, port: int,
                 _LOGGER.info("broker connection closed", worker=worker_id)
                 break
             if kind == protocol.SHUTDOWN:
+                break
+            if kind == protocol.DRAIN:
+                # The broker retired this worker (fleet scale-down).  No
+                # lease is held at this point — GET only goes out between
+                # batches — so exiting here abandons nothing.
+                telemetry.count("distributed.worker.drains")
+                _LOGGER.info("drained by broker", worker=worker_id,
+                             completed=completed)
                 break
             if kind == protocol.WAIT:
                 telemetry.count("distributed.worker.wait_frames")
@@ -159,8 +244,16 @@ def run_worker(host: str, port: int,
                              cached=was_cached, accepted=fresh)
             if broker_lost:
                 break
+            # A signal that landed mid-batch drains at the *batch* boundary:
+            # every lease the worker held has now been delivered and acked,
+            # so the drain requeues nothing (the loop top exits next pass).
     finally:
         sock.close()
+        for signum, previous in restore:
+            try:
+                signal.signal(signum, previous)
+            except (ValueError, OSError, TypeError):  # pragma: no cover
+                pass
     _LOGGER.info("worker exiting", worker=worker_id, completed=completed)
     return completed
 

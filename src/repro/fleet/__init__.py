@@ -1,0 +1,52 @@
+"""``repro.fleet`` — elastic worker fleets with graceful drain.
+
+The distributed backend (PR 3+) runs a fixed ``--workers N`` fleet chosen
+at launch; this package closes the loop from the broker's STATS
+observability channel (PR 6) to actuation, the "Elastic fleet" layer of
+the ROADMAP's production-scale north star — and the real-runtime twin of
+the ``Autoscale-v0`` control problem simulated in :mod:`repro.envs`.
+
+Three parts, strictly layered:
+
+* :mod:`~repro.fleet.policy` — pure decision logic.
+  :class:`FleetObservation` in, :class:`ScalingDecision` out; the shipped
+  :class:`ThresholdPolicy` is a deterministic threshold controller with
+  hysteresis, cooldown and min/max bounds.
+* :mod:`~repro.fleet.supervisor` — process actuation.
+  :class:`WorkerSupervisor` spawns local ``repro worker`` subprocesses
+  and retires them (broker ``DRAIN`` first, SIGTERM second, ``kill`` only
+  for stragglers).
+* :mod:`~repro.fleet.autoscaler` — the control loop.
+  :class:`FleetAutoscaler` polls STATS, decides, actuates; every action
+  lands in a :class:`FleetReport` and as ``fleet.*`` telemetry.
+
+The load-bearing guarantee is *graceful drain*: a retired worker finishes
+its in-flight lease batch, delivers every result, and exits — zero
+requeued leases (``drain_requeued_tasks == 0`` on the broker), so a sweep
+run under any scaling schedule produces byte-identical output to the
+serial backend.  Entry points: ``run_distributed_sweep(autoscale=...)``,
+``repro run --backend distributed --autoscale`` and
+``repro fleet autoscale --connect HOST:PORT``.
+"""
+
+from repro.fleet.autoscaler import (AutoscaleConfig, FleetAutoscaler,
+                                    FleetEvent, FleetReport)
+from repro.fleet.control import FleetControlError, request_drain
+from repro.fleet.policy import (FleetObservation, ScalingDecision,
+                                ScalingPolicy, ThresholdPolicy, WorkerView)
+from repro.fleet.supervisor import WorkerSupervisor
+
+__all__ = [
+    "AutoscaleConfig",
+    "FleetAutoscaler",
+    "FleetControlError",
+    "FleetEvent",
+    "FleetObservation",
+    "FleetReport",
+    "ScalingDecision",
+    "ScalingPolicy",
+    "ThresholdPolicy",
+    "WorkerSupervisor",
+    "WorkerView",
+    "request_drain",
+]

@@ -1,0 +1,81 @@
+"""Client side of the broker ``DRAIN`` control channel.
+
+The autoscaler (and anything else that wants to retire workers — an ops
+script, a future multi-broker shard manager) asks the broker to drain
+workers through a short-lived observer connection, exactly like
+:func:`repro.telemetry.fleet.fetch_fleet_stats` queries stats: connect,
+``HELLO`` with an :data:`~repro.distributed.protocol.OBSERVER_PREFIX` id
+(so the connection never enters worker accounting), confirm the broker's
+``WELCOME`` advertises the ``drain`` capability, send ``(DRAIN, [ids])``
+and read back the broker's disposition report::
+
+    {"marked": [...], "already_draining": [...],
+     "unknown": [...], "gone": [...]}
+
+Short-lived on purpose: a persistent control connection would keep the
+broker's ``active_connections`` above zero forever and defeat the
+coordinator's dead-fleet detection.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Dict, List, Sequence
+
+from repro.distributed import protocol
+from repro.telemetry.fleet import FleetStatusError, observer_id
+
+
+class FleetControlError(FleetStatusError):
+    """The broker could not be asked to drain (unreachable or pre-1.7)."""
+
+
+def request_drain(host: str, port: int, worker_ids: Sequence[str], *,
+                  timeout: float = 5.0) -> Dict[str, List[str]]:
+    """Ask the broker at ``host:port`` to gracefully drain ``worker_ids``.
+
+    Returns the broker's disposition dict (see module docstring).  Raises
+    :class:`FleetControlError` when the broker is unreachable or predates
+    the negotiated ``DRAIN`` capability (repro < 1.7) — the caller should
+    fall back to SIGTERM-ing the worker processes it owns, which on 1.7+
+    workers triggers the same finish-then-exit drain from the other side.
+    """
+    ids = [str(worker_id) for worker_id in worker_ids]
+    if not ids:
+        return {"marked": [], "already_draining": [], "unknown": [],
+                "gone": []}
+    try:
+        sock = socket.create_connection((host, port), timeout=timeout)
+    except OSError as error:
+        raise FleetControlError(
+            f"cannot reach broker at {host}:{port}: {error}") from error
+    with sock:
+        try:
+            protocol.send_message(sock, protocol.HELLO, observer_id())
+            kind, info = protocol.recv_message(sock)
+            if kind != protocol.WELCOME:
+                raise protocol.ProtocolError(
+                    f"expected WELCOME, got {kind!r}")
+            if not (isinstance(info, dict) and info.get("drain")):
+                raise FleetControlError(
+                    f"broker at {host}:{port} does not advertise the DRAIN "
+                    "capability (repro < 1.7); retire its workers by "
+                    "signal instead")
+            protocol.send_message(sock, protocol.DRAIN, ids)
+            kind, report = protocol.recv_message(sock)
+            if kind != protocol.DRAIN:
+                raise protocol.ProtocolError(f"expected DRAIN, got {kind!r}")
+        except FleetControlError:
+            raise
+        except (ConnectionError, OSError) as error:
+            raise FleetControlError(
+                f"broker at {host}:{port} dropped the drain request: "
+                f"{error}") from error
+    if not isinstance(report, dict):
+        raise FleetControlError(
+            f"malformed DRAIN reply: {type(report).__name__}")
+    return {key: list(report.get(key, []))
+            for key in ("marked", "already_draining", "unknown", "gone")}
+
+
+__all__ = ["FleetControlError", "request_drain"]

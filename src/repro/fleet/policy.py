@@ -1,0 +1,200 @@
+"""Scaling policies: the pure decision half of the elastic fleet.
+
+A policy never touches sockets or processes.  Each autoscaler tick it is
+handed a :class:`FleetObservation` (distilled from the broker's ``STATS``
+snapshot) and answers with a :class:`ScalingDecision` — how many workers to
+spawn and/or which worker ids to retire.  Keeping the decision logic pure
+makes it unit-testable with a fake clock and swappable: anything with a
+``decide(observation)`` method (see :class:`ScalingPolicy`) plugs into
+:class:`~repro.fleet.autoscaler.FleetAutoscaler`, including a learned
+controller trained against :mod:`repro.envs`' ``Autoscale-v0`` simulator,
+which models exactly this queue.
+
+The shipped :class:`ThresholdPolicy` is deliberately boring and fully
+deterministic given the observation stream:
+
+* **Scale up** when the backlog per live worker (``queued / alive``)
+  reaches ``high_water`` — by ``scale_up_step`` workers, capped at
+  ``max_workers``.
+* **Scale down** when the backlog has fallen to ``low_water`` or less *and*
+  a worker has been continuously idle (zero held leases) for
+  ``idle_grace_seconds`` — the idle worker is retired, never a busy one,
+  floored at ``min_workers``.
+* **Hysteresis**: the gap between ``high_water`` and ``low_water`` plus a
+  shared ``cooldown_seconds`` between scaling actions in either direction
+  keeps the fleet from flapping on a bursty queue.
+* ``min_workers`` is a safety floor topped up immediately (no cooldown):
+  a fleet that crashed below the floor is refilled on the next tick.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+try:  # Protocol is 3.8+; keep the import defensive like the rest of repro.
+    from typing import Protocol
+except ImportError:  # pragma: no cover - ancient interpreters
+    Protocol = object  # type: ignore[assignment]
+
+
+@dataclass(frozen=True)
+class WorkerView:
+    """One worker row of the STATS snapshot, as a policy sees it."""
+
+    worker_id: str
+    connected: bool
+    draining: bool
+    leases: int
+    completed: int
+
+
+@dataclass(frozen=True)
+class FleetObservation:
+    """One tick's view of the sweep: queue depth plus per-worker state."""
+
+    queued: int
+    leased: int
+    done: int
+    total: int
+    workers: Tuple[WorkerView, ...]
+
+    @classmethod
+    def from_snapshot(cls, snapshot: Dict[str, object]) -> "FleetObservation":
+        """Distill a broker ``STATS`` snapshot into an observation."""
+        tasks = snapshot.get("tasks", {}) if isinstance(snapshot, dict) else {}
+        rows = snapshot.get("workers", {}) if isinstance(snapshot, dict) else {}
+        workers = tuple(
+            WorkerView(worker_id=str(worker_id),
+                       connected=bool(info.get("connected")),
+                       draining=bool(info.get("draining")),
+                       leases=int(info.get("leases", 0)),
+                       completed=int(info.get("completed", 0)))
+            for worker_id, info in sorted(rows.items()))
+        return cls(queued=int(tasks.get("queued", 0)),
+                   leased=int(tasks.get("leased", 0)),
+                   done=int(tasks.get("done", 0)),
+                   total=int(tasks.get("total", 0)),
+                   workers=workers)
+
+    @property
+    def alive(self) -> Tuple[WorkerView, ...]:
+        """Workers still eligible for leases (connected, not draining)."""
+        return tuple(w for w in self.workers if w.connected and not w.draining)
+
+    @property
+    def remaining(self) -> int:
+        return self.total - self.done
+
+
+@dataclass(frozen=True)
+class ScalingDecision:
+    """What to do this tick.  The default is *nothing* — most ticks are."""
+
+    spawn: int = 0                      #: workers to add
+    retire: Tuple[str, ...] = ()        #: worker ids to drain gracefully
+    reason: str = ""                    #: human-readable rationale (logged)
+
+    def __bool__(self) -> bool:
+        return bool(self.spawn or self.retire)
+
+
+class ScalingPolicy(Protocol):
+    """Anything that can turn observations into scaling decisions."""
+
+    def decide(self, observation: FleetObservation) -> ScalingDecision:
+        """One control step; called once per autoscaler poll."""
+        ...  # pragma: no cover - protocol stub
+
+
+class ThresholdPolicy:
+    """Deterministic threshold controller with hysteresis and cooldown.
+
+    See the module docstring for the control law.  ``clock`` is injectable
+    so tests drive idle-grace and cooldown with a fake monotonic clock.
+    """
+
+    def __init__(self, *, min_workers: int = 1, max_workers: int = 4,
+                 high_water: float = 2.0, low_water: float = 0.5,
+                 idle_grace_seconds: float = 2.0,
+                 cooldown_seconds: float = 3.0, scale_up_step: int = 1,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if min_workers < 0:
+            raise ValueError("min_workers must be >= 0")
+        if max_workers < max(1, min_workers):
+            raise ValueError("max_workers must be >= max(1, min_workers)")
+        if low_water > high_water:
+            raise ValueError("low_water must not exceed high_water "
+                             "(the gap is the hysteresis band)")
+        if scale_up_step < 1:
+            raise ValueError("scale_up_step must be >= 1")
+        self.min_workers = int(min_workers)
+        self.max_workers = int(max_workers)
+        self.high_water = float(high_water)
+        self.low_water = float(low_water)
+        self.idle_grace_seconds = float(idle_grace_seconds)
+        self.cooldown_seconds = float(cooldown_seconds)
+        self.scale_up_step = int(scale_up_step)
+        self._clock = clock
+        #: worker_id -> monotonic time it was first seen continuously idle.
+        self._idle_since: Dict[str, float] = {}
+        self._last_action = -float("inf")
+
+    def decide(self, observation: FleetObservation) -> ScalingDecision:
+        now = self._clock()
+        alive = observation.alive
+        n_alive = len(alive)
+
+        # Idle bookkeeping: a worker is idle while it holds zero leases;
+        # any lease resets its streak.  Ids that vanished are forgotten.
+        idle_now = {w.worker_id for w in alive if w.leases == 0}
+        for worker_id in list(self._idle_since):
+            if worker_id not in idle_now:
+                del self._idle_since[worker_id]
+        for worker_id in idle_now:
+            self._idle_since.setdefault(worker_id, now)
+
+        if observation.remaining == 0 and observation.total > 0:
+            # Sweep complete; the broker SHUTDOWNs workers itself and the
+            # supervisor reaps them — scaling decisions are moot.
+            return ScalingDecision()
+
+        if n_alive < self.min_workers:
+            return ScalingDecision(
+                spawn=self.min_workers - n_alive,
+                reason=f"fleet below min_workers={self.min_workers}")
+
+        cooled = now - self._last_action >= self.cooldown_seconds
+        backlog = observation.queued / max(1, n_alive)
+
+        if (observation.queued > 0 and n_alive < self.max_workers
+                and backlog >= self.high_water and cooled):
+            spawn = min(self.scale_up_step, self.max_workers - n_alive)
+            self._last_action = now
+            return ScalingDecision(
+                spawn=spawn,
+                reason=(f"backlog/worker {backlog:.2f} >= "
+                        f"high_water {self.high_water:g}"))
+
+        if n_alive > self.min_workers and backlog <= self.low_water and cooled:
+            eligible: List[str] = sorted(
+                (worker_id for worker_id, since in self._idle_since.items()
+                 if now - since >= self.idle_grace_seconds),
+                key=lambda worker_id: self._idle_since[worker_id])
+            retire = tuple(eligible[:n_alive - self.min_workers])
+            if retire:
+                self._last_action = now
+                for worker_id in retire:   # stop re-picking them next tick
+                    self._idle_since.pop(worker_id, None)
+                return ScalingDecision(
+                    retire=retire,
+                    reason=(f"idle >= {self.idle_grace_seconds:g}s with "
+                            f"backlog/worker {backlog:.2f} <= "
+                            f"low_water {self.low_water:g}"))
+
+        return ScalingDecision()
+
+
+__all__ = ["FleetObservation", "ScalingDecision", "ScalingPolicy",
+           "ThresholdPolicy", "WorkerView"]

@@ -229,6 +229,10 @@ class SweepResult:
     #: disappeared in 1.4: the generic lock-step strategy now carries the
     #: designs the batched strategy cannot replay, DQN and FPGA included.)
     backends_used: List[str] = field(default_factory=list)
+    #: Autoscaled distributed sweeps only: the
+    #: :class:`~repro.fleet.FleetReport` of scale/drain events (``None``
+    #: everywhere else).  Informational — results never depend on it.
+    fleet_report: Optional[object] = None
 
     def add(self, task: SweepTask, result: TrainingResult,
             backend_used: Optional[str] = None) -> None:
@@ -379,6 +383,14 @@ class SweepRunner:
         on the serial, vectorized and process backends (distributed workers
         train in other processes/hosts — their agents never return to this
         coordinator, so the combination is rejected up front).
+    autoscale:
+        Distributed backend only: ``True`` or a
+        :class:`~repro.fleet.AutoscaleConfig` to run the worker fleet
+        under a :class:`~repro.fleet.FleetAutoscaler` instead of a fixed
+        ``max_workers`` — the fleet grows on queue backlog and drains idle
+        workers gracefully, with byte-identical results either way.  The
+        run's :class:`~repro.fleet.FleetReport` lands on
+        :attr:`SweepResult.fleet_report`.
     """
 
     BACKENDS = ("auto", "vectorized", "process", "serial", "distributed")
@@ -391,7 +403,8 @@ class SweepRunner:
                  resume_trial_state: bool = True,
                  lease_batch: int = 1,
                  progress_every: int = 0,
-                 save_policies: bool = False) -> None:
+                 save_policies: bool = False,
+                 autoscale=None) -> None:
         if backend not in self.BACKENDS:
             raise ValueError(f"unknown backend {backend!r}; choose from {self.BACKENDS}")
         if checkpoint_every < 0:
@@ -407,6 +420,11 @@ class SweepRunner:
                 "save_policies is not supported on the distributed backend: "
                 "worker-trained agents never reach this coordinator; train "
                 "with --backend serial/vectorized/process instead")
+        if autoscale and backend != "distributed":
+            raise ValueError(
+                "autoscale only applies to the distributed backend: the "
+                "elastic fleet scales broker workers, which no other "
+                "backend has")
         if not isinstance(spec, SweepSpec):
             tasks = list(spec)
             bad = [task for task in tasks if not isinstance(task, SweepTask)]
@@ -430,6 +448,7 @@ class SweepRunner:
         self.lease_batch = lease_batch
         self.progress_every = progress_every
         self.save_policies = save_policies
+        self.autoscale = autoscale
 
     def tasks(self) -> List[SweepTask]:
         """The task list this runner will execute, in grid order."""
@@ -472,10 +491,15 @@ class SweepRunner:
         elif self.backend == "distributed":
             from repro.distributed import run_distributed_sweep
 
+            def keep_report(report) -> None:
+                sweep.fleet_report = report
+
             pairs = run_distributed_sweep(tasks, n_workers=self.max_workers,
                                           bind=self.bind, store=self.store,
                                           callback=callback,
-                                          lease_batch=self.lease_batch)
+                                          lease_batch=self.lease_batch,
+                                          autoscale=self.autoscale,
+                                          on_fleet_report=keep_report)
             for task, (result, backend_used) in zip(tasks, pairs):
                 sweep.add(task, result, backend_used=backend_used)
         else:

@@ -11,14 +11,16 @@ it out of the worker accounting), confirms the broker advertises the
       "tasks":   {"total": N, "queued": q, "leased": l, "done": d},
       "counters": {"requeued_tasks": ..., "duplicate_results": ...,
                    "wait_replies": ..., "workers_seen": ...,
-                   "active_connections": ...},
-      "workers": {worker_id: {"connected": bool,
+                   "active_connections": ..., "drains_requested": ...,
+                   "drains_completed": ..., "drain_requeued_tasks": ...},
+      "workers": {worker_id: {"connected": bool, "draining": bool,
                               "last_seen_seconds_ago": float,
                               "completed": int, "leases": int,
                               "oldest_lease_age": float}, ...},
+      "drain_seconds": [...],
       "transport": {"frames_sent": ..., "bytes_sent": ..., ...},
       "lease_batch": int, "heartbeat_timeout": float,
-      "repro_version": "1.5.0"
+      "repro_version": "1.7.0"
     }
 
 with ``queued + leased + done == total`` guaranteed by the broker.
@@ -101,6 +103,13 @@ def format_fleet_status(snapshot: Dict[str, object]) -> str:
                for key in ("requeued_tasks", "duplicate_results",
                            "wait_replies", "workers_seen",
                            "active_connections")}),
+        # Pre-1.7 brokers have no drain counters; render zeros either way
+        # so `repro fleet status` output stays line-stable for scripts.
+        "drains: requested={drains_requested} completed={drains_completed} "
+        "lost_leases={drain_requeued_tasks}".format(
+            **{key: counters.get(key, 0)
+               for key in ("drains_requested", "drains_completed",
+                           "drain_requeued_tasks")}),
         "transport: {frames_sent} frames out ({bytes_sent} B), "
         "{frames_received} frames in ({bytes_received} B)".format(
             **{key: transport.get(key, 0)
@@ -112,9 +121,15 @@ def format_fleet_status(snapshot: Dict[str, object]) -> str:
         rows: List[Dict[str, object]] = []
         for worker_id in sorted(workers):
             info = workers[worker_id]
+            if not info.get("connected"):
+                state = "gone"
+            elif info.get("draining"):
+                state = "draining"
+            else:
+                state = "up"
             rows.append({
                 "worker": worker_id,
-                "state": "up" if info.get("connected") else "gone",
+                "state": state,
                 "last_seen": f"{float(info.get('last_seen_seconds_ago', 0.0)):.1f}s",
                 "done": info.get("completed", 0),
                 "leases": info.get("leases", 0),

@@ -582,3 +582,317 @@ class TestStatsChannel:
         assert main(["fleet", "status", "--connect",
                      f"127.0.0.1:{port}", "--timeout", "0.5"]) == 2
         assert "error:" in capsys.readouterr().err
+
+
+DRAIN_CAPACITY = {"capacity": 8, "drain": True}   # a 1.7+ worker's GET payload
+
+
+class TestDrainProtocol:
+    """The negotiated DRAIN frame: graceful worker retirement (1.7+)."""
+
+    def test_welcome_advertises_drain_capability(self):
+        with SweepBroker(_tiny_tasks(1)) as broker:
+            worker = _ScriptedWorker(broker)
+            assert worker.welcome_info["drain"] is True
+            worker.close()
+
+    def test_marked_worker_finishes_lease_then_gets_drain_frame(self):
+        """The full choreography: mark -> deliver in-flight -> DRAIN -> exit,
+        with zero requeued leases (the elastic-fleet contract)."""
+        from repro.fleet import request_drain
+
+        with SweepBroker(_tiny_tasks(3)) as broker:
+            host, port = broker.address
+            worker = _ScriptedWorker(broker, "w0")
+            kind, (index, _task) = worker.get(DRAIN_CAPACITY)
+            assert kind == protocol.TASK and index == 0
+            report = request_drain(host, port, ["w0"])
+            assert report == {"marked": ["w0"], "already_draining": [],
+                              "unknown": [], "gone": []}
+            # In-flight result still lands normally after the mark...
+            assert worker.send_result(0) is True
+            # ...and the next GET is the retirement order, not a lease.
+            kind, payload = worker.get(DRAIN_CAPACITY)
+            assert kind == protocol.DRAIN and payload is None
+            worker.close()
+            _wait_until(lambda: broker.drains_completed == 1,
+                        message="graceful drain settled")
+            assert broker.drains_requested == 1
+            assert broker.drain_requeued_tasks == 0
+            assert broker.requeued_tasks == 0
+            assert len(broker.drain_durations) == 1
+            # The drained worker's delivered result is never re-leased.
+            survivor = _ScriptedWorker(broker, "w1")
+            kind, (index, _task) = survivor.get(DRAIN_CAPACITY)
+            assert kind == protocol.TASK and index == 1
+            survivor.close()
+
+    def test_legacy_worker_marked_for_drain_degrades_gracefully(self):
+        """A pre-1.7 worker (bare-int GET payload) never negotiated DRAIIN,
+        so a drain mark must not change what it is served — the supervisor
+        retires such workers by signal instead."""
+        with SweepBroker(_tiny_tasks(2)) as broker:
+            legacy = _ScriptedWorker(broker, "old")
+            assert broker.mark_draining(["old"])["marked"] == ["old"]
+            kind, (index, _task) = legacy.get(8)     # int: pre-1.7 payload
+            assert kind == protocol.TASK and index == 0
+            legacy.send_result(0)
+            kind, _ = legacy.get(None)               # pre-1.4 payload form
+            assert kind == protocol.TASK
+            legacy.send_result(1)
+            legacy.close()
+            # Disconnecting with everything delivered still settles as a
+            # graceful drain on the broker's books.
+            _wait_until(lambda: broker.drains_completed == 1,
+                        message="legacy drain settled")
+            assert broker.drain_requeued_tasks == 0
+
+    def test_self_drain_announce_is_unsolicited(self):
+        """(DRAIN, None) from a worker (SIGTERM landed) marks it without a
+        reply; the clean disconnect right after counts as graceful."""
+        with SweepBroker(_tiny_tasks(1)) as broker:
+            worker = _ScriptedWorker(broker, "sig")
+            protocol.send_message(worker.sock, protocol.DRAIN, None)
+            _wait_until(lambda: broker.draining_workers() == ["sig"],
+                        message="self-drain mark")
+            worker.close()
+            _wait_until(lambda: broker.drains_completed == 1,
+                        message="self drain settled")
+            assert broker.drains_requested == 1
+            assert broker.drain_requeued_tasks == 0
+
+    def test_draining_worker_dying_with_lease_counts_lost_work(self):
+        """Dying mid-drain is NOT graceful: the abandoned lease requeues and
+        is pinned on drain_requeued_tasks (the counter CI asserts is 0)."""
+        with SweepBroker(_tiny_tasks(2)) as broker:
+            doomed = _ScriptedWorker(broker, "doomed")
+            kind, (index, _task) = doomed.get(DRAIN_CAPACITY)
+            assert kind == protocol.TASK and index == 0
+            broker.mark_draining(["doomed"])
+            doomed.close()                       # dies holding the lease
+            _wait_until(lambda: broker.drain_requeued_tasks == 1,
+                        message="drain death accounted")
+            assert broker.drains_completed == 0
+            assert broker.drain_durations == []
+            survivor = _ScriptedWorker(broker, "survivor")
+            served = set()
+            for _ in range(2):                   # task 1 + the requeued task 0
+                kind, (index, _task) = survivor.get(DRAIN_CAPACITY)
+                assert kind == protocol.TASK
+                served.add(index)
+            assert served == {0, 1}              # the lost lease came back
+            survivor.close()
+
+    def test_drain_control_dispositions(self):
+        from repro.fleet import request_drain
+
+        with SweepBroker(_tiny_tasks(1)) as broker:
+            host, port = broker.address
+            worker = _ScriptedWorker(broker, "w0")
+            gone = _ScriptedWorker(broker, "w-gone")
+            gone.close()
+            _wait_until(lambda: broker.stats_snapshot()["counters"]
+                        ["active_connections"] == 1,
+                        message="gone worker disconnect")
+            first = request_drain(host, port, ["w0", "w-gone", "ghost"])
+            assert first["marked"] == ["w0"]
+            assert first["gone"] == ["w-gone"]
+            assert first["unknown"] == ["ghost"]
+            second = request_drain(host, port, ["w0"])
+            assert second["already_draining"] == ["w0"]
+            assert broker.drains_requested == 1   # marked once, not twice
+            worker.close()
+
+    def test_stats_snapshot_reports_drain_state(self):
+        with SweepBroker(_tiny_tasks(1)) as broker:
+            worker = _ScriptedWorker(broker, "w0")
+            worker.get(DRAIN_CAPACITY)
+            broker.mark_draining(["w0"])
+            snap = broker.stats_snapshot()
+            assert snap["workers"]["w0"]["draining"] is True
+            assert snap["counters"]["drains_requested"] == 1
+            assert snap["counters"]["drains_completed"] == 0
+            assert snap["counters"]["drain_requeued_tasks"] == 0
+            assert snap["drain_seconds"] == []
+            text = format_fleet_status(snap)
+            assert "draining" in text
+            assert "drains: requested=1 completed=0 lost_leases=0" in text
+            worker.close()
+
+    def test_reconciliation_invariant_under_worker_churn(self):
+        """queued + leased + done == total through joins, drains and deaths
+        mid-sweep — and a drained worker's last result is never recounted."""
+        def check(broker):
+            tasks = broker.stats_snapshot()["tasks"]
+            assert (tasks["queued"] + tasks["leased"] + tasks["done"]
+                    == tasks["total"]), tasks
+            return tasks
+
+        from repro.fleet import request_drain
+
+        with SweepBroker(_tiny_tasks(6)) as broker:
+            host, port = broker.address
+            check(broker)
+            # join: two workers lease one task each
+            a = _ScriptedWorker(broker, "a")
+            b = _ScriptedWorker(broker, "b")
+            _, (ia, _t) = a.get(DRAIN_CAPACITY)
+            _, (ib, _t) = b.get(DRAIN_CAPACITY)
+            assert check(broker)["leased"] == 2
+            # drain: a delivers its last result, is marked, disconnects
+            assert a.send_result(ia) is True
+            request_drain(host, port, ["a"])
+            kind, _ = a.get(DRAIN_CAPACITY)
+            assert kind == protocol.DRAIN
+            a.close()
+            _wait_until(lambda: broker.drains_completed == 1,
+                        message="drain settled")
+            done_after_drain = check(broker)["done"]
+            assert done_after_drain == 1
+            # death: b dies holding its lease; the task requeues
+            b.close()
+            _wait_until(lambda: broker.requeued_tasks == 1,
+                        message="death requeue")
+            assert check(broker)["done"] == done_after_drain
+            # a late duplicate of the drained worker's result is dropped,
+            # not double counted
+            c = _ScriptedWorker(broker, "c")
+            assert c.send_result(ia) is False
+            assert broker.duplicate_results == 1
+            assert check(broker)["done"] == done_after_drain
+            # c finishes the rest of the grid; totals reconcile to the end
+            while True:
+                kind, payload = c.get(DRAIN_CAPACITY)
+                if kind == protocol.SHUTDOWN:
+                    break
+                assert kind == protocol.TASK
+                index, _task = payload
+                c.send_result(index)
+                check(broker)
+            assert broker.join(timeout=2.0)
+            final = check(broker)
+            assert final["done"] == final["total"] == 6
+            assert broker.drain_requeued_tasks == 0
+            c.close()
+
+
+class TestDrainCrossVersion:
+    """Version hygiene: 1.7 workers against pre-1.7 brokers and vice versa."""
+
+    def test_new_worker_against_pre_drain_broker_sends_legacy_get(self):
+        """A 1.7 worker that sees no drain flag in WELCOME must fall back to
+        the bare-int GET payload a pre-1.7 broker understands."""
+        from repro.distributed.worker import (LEASE_CAPACITY, WorkerOptions,
+                                              run_worker)
+
+        server = socket.socket()
+        server.bind(("127.0.0.1", 0))
+        server.listen(1)
+        host, port = server.getsockname()[:2]
+        seen_payloads = []
+
+        def legacy_broker():
+            connection, _ = server.accept()
+            with connection:
+                kind, _ = protocol.recv_message(connection)
+                assert kind == protocol.HELLO
+                protocol.send_message(connection, protocol.WELCOME,
+                                      {"tasks": 1, "stats": True})  # no drain
+                kind, payload = protocol.recv_message(connection)
+                assert kind == protocol.GET
+                seen_payloads.append(payload)
+                protocol.send_message(connection, protocol.SHUTDOWN, None)
+
+        thread = threading.Thread(target=legacy_broker, daemon=True)
+        thread.start()
+        try:
+            completed = run_worker(host, port,
+                                   WorkerOptions(worker_id="new-worker",
+                                                 handle_signals=False))
+            thread.join(timeout=2.0)
+        finally:
+            server.close()
+        assert completed == 0
+        assert seen_payloads == [LEASE_CAPACITY]   # bare int, never a dict
+
+    def test_request_drain_rejects_pre_drain_broker(self):
+        from repro.fleet import FleetControlError, request_drain
+
+        server = socket.socket()
+        server.bind(("127.0.0.1", 0))
+        server.listen(1)
+        host, port = server.getsockname()[:2]
+
+        def legacy_broker():
+            connection, _ = server.accept()
+            with connection:
+                kind, _ = protocol.recv_message(connection)
+                assert kind == protocol.HELLO
+                protocol.send_message(connection, protocol.WELCOME,
+                                      {"tasks": 1, "stats": True})
+
+        thread = threading.Thread(target=legacy_broker, daemon=True)
+        thread.start()
+        try:
+            with pytest.raises(FleetControlError, match="does not advertise"):
+                request_drain(host, port, ["w0"], timeout=2.0)
+            thread.join(timeout=2.0)
+        finally:
+            server.close()
+
+    def test_new_worker_against_new_broker_negotiates_drain(self):
+        """End to end over real sockets: the worker upgrades its GET payload
+        to the capability dict and honours a DRAIN reply by exiting."""
+        from repro.distributed.worker import WorkerOptions, run_worker
+        from repro.fleet import request_drain
+
+        with SweepBroker(_tiny_tasks(2)) as broker:
+            host, port = broker.address
+            drain = threading.Event()
+            done = {}
+
+            def serve():
+                done["completed"] = run_worker(
+                    host, port, WorkerOptions(worker_id="w0",
+                                              handle_signals=False,
+                                              drain_event=drain))
+
+            thread = threading.Thread(target=serve, daemon=True)
+            thread.start()
+            _wait_until(lambda: broker.completed_count >= 1,
+                        message="first result")
+            request_drain(host, port, ["w0"])
+            thread.join(timeout=10.0)
+            assert not thread.is_alive()
+            _wait_until(lambda: broker.drains_completed == 1,
+                        message="drain settled")
+            assert broker.drain_requeued_tasks == 0
+            assert done["completed"] >= 1
+
+    def test_worker_drain_event_announces_self_drain(self):
+        """The drain_event / signal path: the worker stops at the next batch
+        boundary, tells the broker, and the disconnect settles gracefully."""
+        from repro.distributed.worker import WorkerOptions, run_worker
+
+        with SweepBroker(_tiny_tasks(4)) as broker:
+            host, port = broker.address
+            drain = threading.Event()
+            completions = []
+            original_callback = broker.callback
+
+            def stop_after_first(task, result):
+                completions.append(task)
+                drain.set()                      # "SIGTERM" mid-sweep
+
+            broker.callback = stop_after_first
+            completed = run_worker(host, port,
+                                   WorkerOptions(worker_id="sig",
+                                                 handle_signals=False,
+                                                 drain_event=drain))
+            broker.callback = original_callback
+            assert 1 <= completed < 4            # stopped early, cleanly
+            _wait_until(lambda: broker.drains_completed == 1,
+                        message="self drain settled")
+            assert broker.drains_requested == 1
+            assert broker.drain_requeued_tasks == 0
+            assert broker.requeued_tasks == 0
