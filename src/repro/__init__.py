@@ -93,7 +93,7 @@ from repro.api import (
 )
 from repro.api import run as run_experiment
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "AgentConfig",

@@ -11,7 +11,10 @@ Subcommands
     ``--checkpoint-every N`` (serial backend) additionally persists
     mid-trial training state so a killed run resumes *inside* a trial;
     ``--progress-every N`` streams per-trial progress to stderr;
-    ``--lease-batch K`` batches distributed task leases.
+    ``--lease-batch K`` batches distributed task leases;
+    ``--journal PATH`` (distributed backend) write-ahead logs broker
+    queue transitions so a killed broker restarted with the same flag
+    resumes the sweep instead of rerunning it.
 ``repro report <name|spec.json> [--ci] [--out DIR] [--csv PATH] [--plot]``
     Re-render a finished run purely from cached artifacts (no training;
     errors if trials are missing).  ``--plot`` regenerates the Figure 4/5
@@ -20,12 +23,20 @@ Subcommands
 ``repro worker --connect HOST:PORT [--store DIR]``
     Join a distributed sweep as a worker: pull tasks from the broker that
     ``repro run --backend distributed --bind HOST:PORT`` published, train
-    them through the serial code path, and stream results back.
+    them through the serial code path, and stream results back.  A lost
+    broker connection reconnects with capped exponential backoff
+    (``--reconnect-attempts``/``--reconnect-base-delay``/
+    ``--reconnect-max-delay``/``--reconnect-deadline``; ``--no-reconnect``
+    restores the pre-1.8 exit-on-disconnect).  ``--fault-plan SPEC``
+    injects deterministic connection faults for chaos testing.
 ``repro fleet status --connect HOST:PORT [--watch] [--json]``
     Query a live broker's ``STATS`` channel: tasks queued/leased/done,
     per-worker liveness, drain state and lease age, requeue/dedup/
     backpressure/drain counters.  ``--watch`` refreshes every
     ``--interval`` seconds; ``--json`` prints the raw snapshot for scripts.
+    ``--retry-attempts N`` (shared with ``fleet autoscale``) rides out a
+    broker that is briefly unreachable — e.g. mid-restart from its
+    journal — instead of failing the first query.
 ``repro fleet autoscale --connect HOST:PORT [--min N] [--max N]``
     Attach an elastic fleet to a live broker: poll its STATS channel,
     spawn local workers when the queue backs up, and gracefully drain
@@ -165,6 +176,17 @@ def _autoscale_config(args: argparse.Namespace):
     return _build_autoscale_config(args)
 
 
+def _retry_policy(args: argparse.Namespace):
+    """``--retry-*`` flags -> RetryPolicy (None when retries are off)."""
+    if args.retry_attempts <= 1:
+        return None
+    from repro.utils.retry import RetryPolicy
+
+    return RetryPolicy(max_attempts=args.retry_attempts,
+                       base_delay=args.retry_base_delay,
+                       deadline=args.retry_deadline)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     from repro.distributed.preflight import PreflightError
 
@@ -177,7 +199,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
                      lease_batch=args.lease_batch,
                      progress_every=args.progress_every,
                      save_policy=args.save_policy,
-                     autoscale=_autoscale_config(args))
+                     autoscale=_autoscale_config(args),
+                     journal=args.journal)
     except (PreflightError, ValueError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -186,10 +209,30 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_worker(args: argparse.Namespace) -> int:
     from repro.distributed import WorkerOptions, parse_address, run_worker
+    from repro.utils.retry import RetryPolicy
 
     host, port = parse_address(args.connect)
+    reconnect = None
+    if not args.no_reconnect:
+        reconnect = RetryPolicy(max_attempts=args.reconnect_attempts,
+                                base_delay=args.reconnect_base_delay,
+                                max_delay=args.reconnect_max_delay,
+                                deadline=args.reconnect_deadline)
+    connect_factory = None
+    if args.fault_plan:
+        from repro.chaos import FaultPlan
+
+        try:
+            connect_factory = FaultPlan.from_spec(args.fault_plan).connect
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
     options = WorkerOptions(worker_id=args.id, store_root=args.store,
-                            max_tasks=args.max_tasks)
+                            max_tasks=args.max_tasks,
+                            reconnect=reconnect,
+                            idle_timeout=(args.idle_timeout
+                                          if args.idle_timeout > 0 else None),
+                            connect_factory=connect_factory)
     try:
         completed = run_worker(host, port, options)
     except OSError as error:
@@ -219,10 +262,12 @@ def _cmd_fleet_status(args: argparse.Namespace) -> int:
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    retry = _retry_policy(args)
     while True:
         try:
-            snapshot = fetch_fleet_stats(host, port, timeout=args.timeout)
-        except FleetStatusError as error:
+            snapshot = fetch_fleet_stats(host, port, timeout=args.timeout,
+                                         retry=retry)
+        except (FleetStatusError, ConnectionError) as error:
             print(f"error: {error}", file=sys.stderr)
             return 2
         if args.json:
@@ -256,8 +301,10 @@ def _cmd_fleet_autoscale(args: argparse.Namespace) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 2
     try:
-        fetch_fleet_stats(host, port, timeout=5.0)
-    except FleetStatusError as error:
+        # --retry-attempts lets the preflight ride out a broker that is
+        # mid-restart from its journal rather than refusing immediately.
+        fetch_fleet_stats(host, port, timeout=5.0, retry=_retry_policy(args))
+    except (FleetStatusError, ConnectionError) as error:
         # Refuse up front when no broker answers: an autoscaler pointed at
         # nothing would silently poll forever.
         print(f"error: {error}", file=sys.stderr)
@@ -408,6 +455,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="serial backend: persist mid-trial training state "
                              "every N episodes so a killed run resumes inside "
                              "a trial, bit-for-bit (0 = off)")
+    runner.add_argument("--journal", default=None, metavar="PATH",
+                        help="distributed backend: append-only write-ahead "
+                             "journal of broker queue transitions; restart "
+                             "a killed broker with the same path to resume "
+                             "the sweep (completed trials stay done, "
+                             "in-flight leases are requeued)")
     runner.add_argument("--lease-batch", type=int, default=1, metavar="K",
                         help="distributed backend: tasks leased per worker "
                              "request (amortizes connection latency; "
@@ -448,6 +501,34 @@ def build_parser() -> argparse.ArgumentParser:
     worker.add_argument("--max-tasks", type=int, default=None,
                         help="exit after completing N tasks (default: serve "
                              "until the broker shuts the sweep down)")
+    worker.add_argument("--no-reconnect", action="store_true",
+                        help="exit on the first broker disconnect instead "
+                             "of reconnecting with backoff (pre-1.8 "
+                             "behaviour)")
+    worker.add_argument("--reconnect-attempts", type=int, default=5,
+                        metavar="N",
+                        help="connection attempts per outage before giving "
+                             "up (default 5)")
+    worker.add_argument("--reconnect-base-delay", type=float, default=0.2,
+                        metavar="S",
+                        help="first backoff delay in seconds; doubles each "
+                             "retry (default 0.2)")
+    worker.add_argument("--reconnect-max-delay", type=float, default=5.0,
+                        metavar="S",
+                        help="backoff ceiling in seconds (default 5)")
+    worker.add_argument("--reconnect-deadline", type=float, default=None,
+                        metavar="S",
+                        help="give up reconnecting S seconds into an outage "
+                             "(default: attempts cap only)")
+    worker.add_argument("--idle-timeout", type=float, default=60.0,
+                        metavar="S",
+                        help="treat a broker silent for S seconds as gone "
+                             "and reconnect (default 60; 0 = wait forever)")
+    worker.add_argument("--fault-plan", default=None, metavar="SPEC",
+                        help="chaos testing: inject deterministic connection "
+                             "faults, e.g. "
+                             "'drop_after_frames=8,drop_every=5,seed=7' "
+                             "(see repro.chaos.FaultPlan.from_spec)")
     worker.set_defaults(handler=_cmd_worker)
 
     server = commands.add_parser(
@@ -497,6 +578,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="print the raw STATS snapshot as JSON")
     status.add_argument("--timeout", type=float, default=5.0, metavar="S",
                         help="per-query socket timeout (default: 5)")
+    _add_retry_flags(status)
     status.set_defaults(handler=_cmd_fleet_status)
     autoscale = fleet_commands.add_parser(
         "autoscale", help="attach an elastic worker fleet to a live broker")
@@ -504,6 +586,7 @@ def build_parser() -> argparse.ArgumentParser:
                            help="broker address published by `repro run "
                                 "--backend distributed --bind ...`")
     _add_autoscale_flags(autoscale)
+    _add_retry_flags(autoscale)
     autoscale.add_argument("--watch", action="store_true",
                            help="print a fleet status line every poll")
     autoscale.set_defaults(handler=_cmd_fleet_autoscale)
@@ -538,6 +621,22 @@ def _add_autoscale_flags(parser: argparse.ArgumentParser) -> None:
                         metavar="S", dest="autoscale_cooldown",
                         help="minimum seconds between scaling actions "
                              "(default 3)")
+
+
+def _add_retry_flags(parser: argparse.ArgumentParser) -> None:
+    """The shared broker-query retry knobs of the `repro fleet` commands."""
+    parser.add_argument("--retry-attempts", type=int, default=1, metavar="N",
+                        dest="retry_attempts",
+                        help="retry a transiently unreachable broker up to "
+                             "N attempts (default 1 = fail immediately)")
+    parser.add_argument("--retry-base-delay", type=float, default=0.5,
+                        metavar="S", dest="retry_base_delay",
+                        help="first retry delay in seconds; doubles each "
+                             "attempt (default 0.5)")
+    parser.add_argument("--retry-deadline", type=float, default=None,
+                        metavar="S", dest="retry_deadline",
+                        help="stop retrying S seconds after the first "
+                             "failure (default: attempts cap only)")
 
 
 def main(argv: Optional[List[str]] = None) -> int:

@@ -108,7 +108,8 @@ def run(spec_or_name: Union[str, ExperimentSpec], *, backend: str = "auto",
         cache_only: bool = False, max_workers: Optional[int] = None,
         bind: Optional[str] = None, checkpoint_every: int = 0,
         lease_batch: int = 1, progress_every: int = 0,
-        save_policy: bool = False, autoscale=None) -> RunReport:
+        save_policy: bool = False, autoscale=None,
+        journal: Optional[str] = None) -> RunReport:
     """Execute an experiment spec (or registered name) and return its report.
 
     Parameters
@@ -170,6 +171,12 @@ def run(spec_or_name: Union[str, ExperimentSpec], *, backend: str = "auto",
         :class:`~repro.fleet.FleetReport` is returned on
         :attr:`RunReport.fleet_report`; trial results are byte-identical
         to every other backend regardless of the scaling schedule.
+    journal:
+        Distributed backend only (``repro run --journal PATH``): the
+        broker's crash-safety write-ahead journal.  An existing journal is
+        replayed before serving, so re-running the same command after a
+        broker SIGKILL resumes the sweep (completed trials done, in-flight
+        leases requeued) instead of restarting it.
     """
     if backend not in BACKENDS:
         raise ValueError(f"unknown backend {backend!r}; choose from {BACKENDS}")
@@ -184,6 +191,10 @@ def run(spec_or_name: Union[str, ExperimentSpec], *, backend: str = "auto",
     if autoscale and backend != "distributed":
         raise ValueError("autoscale requires --backend distributed "
                          "(only the broker's worker fleet is elastic)")
+    if journal and backend != "distributed":
+        raise ValueError("journal requires --backend distributed (it logs "
+                         "broker queue transitions; other backends resume "
+                         "from the artifact store instead)")
     if max_workers is None:
         max_workers = spec.max_workers
 
@@ -218,10 +229,14 @@ def run(spec_or_name: Union[str, ExperimentSpec], *, backend: str = "auto",
             # a PreflightError here beats a socket traceback mid-sweep.
             from repro.distributed.preflight import run_preflight
 
+            # `--workers 0` with a bind address is the documented
+            # external-fleet mode (only `repro worker --connect` processes
+            # serve the grid), so the local-worker-count check is skipped.
             run_preflight(
                 bind=bind,
                 store_root=str(store.root) if store is not None else None,
-                workers=max_workers)
+                workers=(None if max_workers == 0 and bind is not None
+                         else max_workers))
         _LOGGER.info("run started", spec=spec.name, backend=backend,
                      trials=len(tasks), cached=len(tasks) - len(misses))
         # Trials are checkpointed the moment they finish, not when the sweep
@@ -241,7 +256,8 @@ def run(spec_or_name: Union[str, ExperimentSpec], *, backend: str = "auto",
                             lease_batch=lease_batch,
                             progress_every=progress_every,
                             save_policies=save_policy,
-                            autoscale=autoscale).run(checkpoint)
+                            autoscale=autoscale,
+                            journal=journal).run(checkpoint)
         for (task, result), backend_used in zip(sweep.entries, sweep.backends_used):
             records[task.key()] = TrialRecord(task, result, backend_used)
         fleet_report = sweep.fleet_report

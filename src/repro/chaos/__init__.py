@@ -1,0 +1,23 @@
+"""Deterministic chaos engineering for the distributed stack.
+
+Two pieces, composable with any test:
+
+* :class:`FaultPlan` — a seeded, reproducible schedule of transport faults
+  (refused connects, dropped connections after N frames, frames truncated
+  mid-write, per-frame delay) injected through the ``connect_factory``
+  seam of workers and serving clients, or ``SweepBroker(fault_plan=...)``
+  on the accepting side.
+* :class:`BrokerHarness` — a journaled broker in a SIGKILL-able child
+  process on a fixed port, with journal-driven progress waits, so "kill
+  the broker after exactly 3 durable deliveries, restart it, and demand a
+  byte-identical sweep" is a deterministic test rather than a flake.
+
+Nothing in here is imported by production code paths; the chaos layer
+observes and wraps, it is never load-bearing.
+"""
+
+from repro.chaos.faults import FaultPlan, FaultyConnectionError, FaultySocket
+from repro.chaos.harness import BrokerHarness, free_port, run_workers_through
+
+__all__ = ["BrokerHarness", "FaultPlan", "FaultyConnectionError",
+           "FaultySocket", "free_port", "run_workers_through"]

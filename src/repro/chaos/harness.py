@@ -1,0 +1,244 @@
+"""Broker kill-and-restart orchestration for crash-safety tests and CI.
+
+:class:`BrokerHarness` runs a *journaled* :class:`~repro.distributed.
+broker.SweepBroker` in a child process (``spawn`` start method, so the
+child is a clean interpreter that can be SIGKILLed without corrupting any
+state shared with the test) on a **fixed port**, so workers that survive
+the kill reconnect to the restarted broker at the same address.  The
+canonical chaos scenario::
+
+    plan = FaultPlan(drop_after_frames=8, drop_every=5)
+    harness = BrokerHarness(tasks, journal_path=tmp / "sweep.journal",
+                            store_root=tmp / "artifacts")
+    harness.start()
+    ...workers run with options.connect_factory=plan.connect and a
+       reconnect RetryPolicy whose deadline spans the restart gap...
+    harness.wait_for_deliveries(3)        # journal shows progress
+    harness.kill()                        # SIGKILL: no atexit, no flush
+    harness.start()                       # replays the journal, resumes
+    harness.wait_until_exit()             # broker exits once grid drains
+    results read back from the store / journal
+
+Everything the harness asserts against is on disk (the fsync'd journal,
+the artifact store), never in the killed process — that is the point.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import socket
+import time
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
+
+from repro.distributed.journal import count_deliveries
+from repro.utils.logging import get_logger
+
+_LOGGER = get_logger("repro.chaos.harness")
+
+
+def free_port(host: str = "127.0.0.1") -> int:
+    """Pick a currently-free TCP port to use as a *fixed* broker address.
+
+    Brokers normally bind port 0 and publish the kernel's choice, but a
+    restarted broker must come back on the address its workers already
+    know, so the harness reserves a concrete port up front.  (The classic
+    bind-then-close race is real but irrelevant at test scale.)
+    """
+    with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as probe:
+        probe.bind((host, 0))
+        return probe.getsockname()[1]
+
+
+def _journaled_broker_main(tasks, host: str, port: int, journal_path: str,
+                           store_root: Optional[str],
+                           heartbeat_timeout: float, lease_batch: int) -> None:
+    """Child-process target: serve the grid until it drains, then exit.
+
+    Module-level (and all-picklable arguments) so it starts under the
+    ``spawn`` method.  Deferred imports keep the parent's module graph out
+    of the child until it actually runs.
+    """
+    from repro.api.store import ArtifactStore
+    from repro.distributed.broker import SweepBroker
+
+    store = ArtifactStore(store_root) if store_root else None
+    broker = SweepBroker(list(tasks), host=host, port=port, store=store,
+                         heartbeat_timeout=heartbeat_timeout,
+                         lease_batch=lease_batch, journal=journal_path)
+    broker.start()
+    try:
+        broker.join()
+    finally:
+        broker.close()
+
+
+class BrokerHarness:
+    """Own one journaled broker subprocess; kill and restart it at will."""
+
+    def __init__(self, tasks: Sequence, *, journal_path: Union[str, Path],
+                 store_root: Optional[Union[str, Path]] = None,
+                 host: str = "127.0.0.1", port: int = 0,
+                 heartbeat_timeout: float = 5.0, lease_batch: int = 1) -> None:
+        self.tasks = list(tasks)
+        self.journal_path = Path(journal_path)
+        self.store_root = str(store_root) if store_root is not None else None
+        self.host = host
+        self.port = port or free_port(host)
+        self.heartbeat_timeout = float(heartbeat_timeout)
+        self.lease_batch = int(lease_batch)
+        self._ctx = mp.get_context("spawn")
+        self._process: Optional[mp.process.BaseProcess] = None
+        #: Broker processes started so far (sessions; kills don't decrement).
+        self.starts = 0
+        self.kills = 0
+
+    # ------------------------------------------------------------------ lifecycle
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    @property
+    def alive(self) -> bool:
+        return self._process is not None and self._process.is_alive()
+
+    def start(self) -> "BrokerHarness":
+        """Start (or restart) the broker process on the fixed port.
+
+        A restart replays ``journal_path`` before binding, which is the
+        crash-recovery path under test.  Waits until the port accepts
+        connections so callers can connect workers immediately.
+        """
+        if self.alive:
+            raise RuntimeError("broker process already running")
+        self._process = self._ctx.Process(
+            target=_journaled_broker_main,
+            args=(self.tasks, self.host, self.port, str(self.journal_path),
+                  self.store_root, self.heartbeat_timeout, self.lease_batch),
+            daemon=True, name=f"chaos-broker-{self.starts}")
+        self._process.start()
+        self.starts += 1
+        self._await_port()
+        _LOGGER.info("chaos broker up", address=self.address,
+                     session=self.starts)
+        return self
+
+    def _await_port(self, timeout: float = 15.0) -> None:
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if self._process is not None and not self._process.is_alive():
+                raise RuntimeError(
+                    "broker process exited during startup (exit code "
+                    f"{self._process.exitcode}); journal: {self.journal_path}")
+            try:
+                socket.create_connection((self.host, self.port),
+                                         timeout=0.2).close()
+                return
+            except OSError:
+                time.sleep(0.05)
+        raise TimeoutError(f"broker never bound {self.address}")
+
+    def kill(self) -> None:
+        """SIGKILL the broker — no cleanup, no flush; the crash under test."""
+        if self._process is None:
+            raise RuntimeError("broker was never started")
+        self._process.kill()
+        self._process.join(timeout=10.0)
+        self.kills += 1
+        _LOGGER.info("chaos broker killed", session=self.starts)
+
+    def terminate(self) -> None:
+        """Best-effort teardown for test finalizers (idempotent)."""
+        if self._process is not None and self._process.is_alive():
+            self._process.kill()
+            self._process.join(timeout=5.0)
+
+    def __enter__(self) -> "BrokerHarness":
+        return self.start()
+
+    def __exit__(self, *_exc: object) -> None:
+        self.terminate()
+
+    # ------------------------------------------------------------------ waiting
+    def deliveries(self) -> int:
+        """Fsync'd ``deliver`` records in the journal right now."""
+        return count_deliveries(self.journal_path)
+
+    def wait_for_deliveries(self, n: int, *, timeout: float = 120.0) -> int:
+        """Block until the journal holds >= ``n`` deliveries; returns the count.
+
+        This is how tests decide *when* to kill: the journal is the only
+        authority on durable progress, so "kill after 3 deliveries" is a
+        deterministic statement about recoverable state, not a sleep.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            done = self.deliveries()
+            if done >= n:
+                return done
+            if not self.alive:
+                raise RuntimeError(
+                    f"broker exited with only {done}/{n} deliveries journaled "
+                    f"(exit code {self._process.exitcode})")
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"journal stuck at {done}/{n} deliveries after {timeout}s")
+            time.sleep(0.05)
+
+    def wait_until_exit(self, timeout: float = 120.0) -> int:
+        """Block until the broker process exits on its own (grid drained)."""
+        if self._process is None:
+            raise RuntimeError("broker was never started")
+        self._process.join(timeout=timeout)
+        if self._process.is_alive():
+            raise TimeoutError(f"broker still running after {timeout}s")
+        return self._process.exitcode
+
+
+def run_workers_through(harness: BrokerHarness, n_workers: int, *,
+                        make_options) -> List["_WorkerThread"]:
+    """Start ``n_workers`` in-process worker threads against a harness.
+
+    ``make_options(i)`` builds each worker's ``WorkerOptions`` — typically
+    with a reconnect ``RetryPolicy`` whose deadline spans the planned
+    broker outage and a ``FaultPlan.connect`` factory.  Threads (not
+    processes) keep the fault plan's counters shared with the test.
+    """
+    threads = [_WorkerThread(harness.host, harness.port, make_options(i))
+               for i in range(n_workers)]
+    for thread in threads:
+        thread.start()
+    return threads
+
+
+class _WorkerThread:
+    """One ``run_worker`` call on a thread, capturing its outcome."""
+
+    def __init__(self, host: str, port: int, options) -> None:
+        self.options = options
+        self.completed: Optional[int] = None
+        self.error: Optional[BaseException] = None
+        import threading
+
+        def main() -> None:
+            from repro.distributed.worker import run_worker
+            try:
+                self.completed = run_worker(host, port, options)
+            except BaseException as error:   # noqa: BLE001 - surfaced to the test
+                self.error = error
+
+        self._thread = threading.Thread(target=main, daemon=True,
+                                        name="chaos-worker")
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        self._thread.join(timeout=timeout)
+
+    @property
+    def alive(self) -> bool:
+        return self._thread.is_alive()
+
+
+__all__ = ["BrokerHarness", "free_port", "run_workers_through"]

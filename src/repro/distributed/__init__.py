@@ -23,6 +23,13 @@ from repro.distributed.coordinator import (
     run_distributed_sweep,
     spawn_local_workers,
 )
+from repro.distributed.journal import (
+    JournalError,
+    JournalReplay,
+    SweepJournal,
+    count_deliveries,
+    task_journal_key,
+)
 from repro.distributed.preflight import PreflightError, run_preflight
 from repro.distributed.protocol import parse_address, transport_counters
 from repro.distributed.worker import (
@@ -36,9 +43,13 @@ from repro.distributed.worker import (
 __all__ = [
     "DEFAULT_HEARTBEAT_TIMEOUT",
     "DISTRIBUTED_BACKEND",
+    "JournalError",
+    "JournalReplay",
     "PreflightError",
     "SweepBroker",
+    "SweepJournal",
     "WorkerOptions",
+    "count_deliveries",
     "default_worker_id",
     "execute_task",
     "parse_address",
@@ -46,5 +57,6 @@ __all__ = [
     "run_preflight",
     "run_worker",
     "spawn_local_workers",
+    "task_journal_key",
     "transport_counters",
 ]

@@ -34,9 +34,12 @@ import socket
 import threading
 import time
 from collections import deque
-from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
 
+from repro import telemetry
 from repro.distributed import protocol
+from repro.distributed.journal import SweepJournal, task_journal_key
 from repro.parallel.sweep import SweepTask
 from repro.training.records import TrainingResult
 from repro.utils.logging import get_logger
@@ -111,6 +114,18 @@ class SweepBroker:
         default_max_frame_bytes`).  A peer announcing an oversized frame is
         disconnected with a :class:`ProtocolError` instead of being allowed
         to allocate the broker into the ground.
+    journal:
+        A :class:`~repro.distributed.journal.SweepJournal` (or a path to
+        one) making this broker crash-safe: queue transitions are appended
+        and fsync'd (deliveries *before* the ACK leaves), and an existing
+        journal is replayed on construction — completed tasks restored as
+        done, everything else (including leases in flight at the kill)
+        back on the pending queue.  ``None`` (the default) keeps the
+        classic in-memory broker, byte-for-byte.
+    fault_plan:
+        Test/CI hook (:class:`~repro.chaos.FaultPlan`): every accepted
+        connection is wrapped so the plan can drop/truncate/delay frames
+        on the broker side of the wire.  Never set in production paths.
     """
 
     def __init__(self, tasks: Sequence[SweepTask], *, host: str = "127.0.0.1",
@@ -118,7 +133,9 @@ class SweepBroker:
                  heartbeat_timeout: float = 30.0,
                  callback: Optional[Callable[[SweepTask, TrainingResult], None]] = None,
                  lease_batch: int = 1,
-                 max_frame_bytes: Optional[int] = None) -> None:
+                 max_frame_bytes: Optional[int] = None,
+                 journal: Optional[Union[SweepJournal, str, Path]] = None,
+                 fault_plan: Optional[object] = None) -> None:
         if heartbeat_timeout <= 0:
             raise ValueError("heartbeat_timeout must be positive")
         if lease_batch < 1:
@@ -131,6 +148,11 @@ class SweepBroker:
         self.max_frame_bytes = max_frame_bytes
         self._bind_host = host
         self._bind_port = port
+        self._fault_plan = fault_plan
+        if journal is None or isinstance(journal, SweepJournal):
+            self.journal: Optional[SweepJournal] = journal
+        else:
+            self.journal = SweepJournal(journal)
 
         self._lock = threading.Lock()
         self._pending: deque = deque(range(len(self.tasks)))
@@ -144,6 +166,11 @@ class SweepBroker:
         self.duplicate_results = 0
         self.requeued_tasks = 0
         self.wait_replies = 0
+        #: Crash-safety accounting (1.8+): results restored from the journal
+        #: at construction, and HELLOs from worker ids the broker already
+        #: knew (a worker that reconnected instead of dying).
+        self.journal_replayed_results = 0
+        self.worker_reconnections = 0
         #: Drain accounting (1.7+): how many workers were marked for drain,
         #: how many closed their connection with no live lease (a *graceful*
         #: drain), and how many tasks had to be requeued from a draining
@@ -170,6 +197,51 @@ class SweepBroker:
         self._server: Optional[socket.socket] = None
         self._threads: List[threading.Thread] = []
         self._closing = threading.Event()
+
+        #: ``task index -> journal key`` (the store's content address);
+        #: computed only when journaling, so the journal-less broker never
+        #: pays for key derivation.
+        self._journal_keys: List[str] = []
+        if self.journal is not None:
+            self._restore_from_journal()
+            self.journal.open(tasks=len(self.tasks), done=len(self._results))
+
+    def _restore_from_journal(self) -> None:
+        """Replay an existing journal into the queue state (pre-``start``).
+
+        Delivered tasks are restored as done (and checkpointed into the
+        attached store, so a restart pointed at a *fresh* store still ends
+        complete); every other index — pending or leased at the kill —
+        lands back on the pending queue, which the fresh ``_pending``
+        built above already encodes.  Keys that match no task (a journal
+        from another spec or repro version) are ignored: they can stall a
+        resume into retraining, never corrupt it.
+        """
+        replay = self.journal.load()
+        self._journal_keys = [task_journal_key(task) for task in self.tasks]
+        if replay.delivered:
+            index_of = {key: index
+                        for index, key in enumerate(self._journal_keys)}
+            for key, (result, backend_used) in replay.results.items():
+                index = index_of.get(key)
+                if index is None or index in self._results:
+                    continue
+                self._results[index] = (result, backend_used)
+                self.journal_replayed_results += 1
+                if self.store is not None:
+                    self.store.save_trial(self.tasks[index], result,
+                                          backend_used=backend_used)
+        if self.journal_replayed_results:
+            self._pending = deque(index for index in range(len(self.tasks))
+                                  if index not in self._results)
+            telemetry.count("broker.journal_replayed",
+                            self.journal_replayed_results)
+            _LOGGER.info("journal replayed", path=str(self.journal.path),
+                         restored=self.journal_replayed_results,
+                         sessions=replay.sessions,
+                         remaining=len(self._pending))
+        if self.tasks and len(self._results) == len(self.tasks):
+            self._all_done.set()
 
     # ------------------------------------------------------------------ lifecycle
     def start(self) -> "SweepBroker":
@@ -226,6 +298,8 @@ class SweepBroker:
                 pass
         for thread in self._threads:
             thread.join(timeout=2.0)
+        if self.journal is not None:
+            self.journal.close()
 
     def __enter__(self) -> "SweepBroker":
         return self.start()
@@ -242,6 +316,8 @@ class SweepBroker:
                 continue
             except OSError:  # socket closed under us
                 return
+            if self._fault_plan is not None:
+                connection = self._fault_plan.wrap(connection)
             thread = threading.Thread(target=self._serve_worker,
                                       args=(connection,), daemon=True,
                                       name="broker-conn")
@@ -266,6 +342,14 @@ class SweepBroker:
             for lease in expired:
                 _LOGGER.warning("lease expired; task requeued",
                                 task=lease.index, worker=lease.worker_id)
+            if expired and self.journal is not None and self.journal.is_open:
+                by_worker: Dict[str, List[str]] = {}
+                for lease in expired:
+                    by_worker.setdefault(lease.worker_id, []).append(
+                        self._journal_keys[lease.index])
+                for owner, keys in by_worker.items():
+                    self.journal.record_requeue(keys, owner,
+                                                reason="lease_expired")
             self._closing.wait(interval)
 
     # ------------------------------------------------------------------ protocol
@@ -295,13 +379,30 @@ class SweepBroker:
                         is_observer = worker_id.startswith(
                             protocol.OBSERVER_PREFIX)
                         if not is_observer:
-                            self.workers_seen.add(worker_id)
+                            reconnected = False
                             with self._lock:
-                                self._workers[worker_id] = {
-                                    "connected": True,
-                                    "last_seen": time.monotonic(),
-                                    "completed": 0,
-                                }
+                                known = worker_id in self.workers_seen
+                                self.workers_seen.add(worker_id)
+                                info = self._workers.get(worker_id)
+                                if info is None:
+                                    self._workers[worker_id] = {
+                                        "connected": True,
+                                        "last_seen": time.monotonic(),
+                                        "completed": 0,
+                                    }
+                                else:
+                                    # A worker we already know re-HELLOed:
+                                    # it reconnected after an outage.  Keep
+                                    # its completed count so fleet stats
+                                    # reconcile across the gap.
+                                    info["connected"] = True
+                                    info["last_seen"] = time.monotonic()
+                                if known:
+                                    self.worker_reconnections += 1
+                                    reconnected = True
+                            if reconnected:
+                                _LOGGER.info("worker reconnected",
+                                             worker=worker_id)
                         # "stats"/"drain": True advertise the respective
                         # channels; pre-1.5 workers only read info["tasks"]
                         # and ignore the rest.
@@ -361,6 +462,7 @@ class SweepBroker:
         advertised = capacity if isinstance(capacity, int) and capacity >= 1 else 1
         batch = min(self.lease_batch, advertised)
         drain_capable = bool(conn_state and conn_state.get("drain_capable"))
+        leased: List[Tuple[int, SweepTask]] = []
         with self._lock:
             if len(self._results) == len(self.tasks):
                 reply = (protocol.SHUTDOWN, None)
@@ -370,7 +472,6 @@ class SweepBroker:
                 # it disconnects holding nothing — a graceful drain.
                 reply = (protocol.DRAIN, None)
             elif self._pending:
-                leased: List[Tuple[int, SweepTask]] = []
                 now = time.monotonic()
                 deadline = now + self.heartbeat_timeout
                 while self._pending and len(leased) < batch:
@@ -386,6 +487,11 @@ class SweepBroker:
             else:
                 reply = (protocol.WAIT, WAIT_HINT_SECONDS)
                 self.wait_replies += 1
+        if leased and self.journal is not None:
+            # Audit, not durability: the fsync happens outside the queue
+            # lock so concurrent GETs don't serialize on the disk.
+            self.journal.record_lease(
+                [self._journal_keys[index] for index, _ in leased], worker_id)
         protocol.send_message(connection, *reply)
 
     def _handle_result(self, connection: socket.socket, payload, held: Set[int],
@@ -420,6 +526,12 @@ class SweepBroker:
                     self._all_done.set()
             self._extend_leases_locked(held)
         if fresh:
+            if self.journal is not None:
+                # Durability point: the deliver record is fsync'd *before*
+                # the ACK below, so any result a worker saw acknowledged is
+                # recoverable after a broker SIGKILL.
+                self.journal.record_deliver(self._journal_keys[index],
+                                            result, backend_used)
             if self.store is not None:
                 self.store.save_trial(task, result, backend_used=backend_used)
             if self.callback is not None:
@@ -460,6 +572,8 @@ class SweepBroker:
                     marked.append(worker_id)
         for worker_id in marked:
             _LOGGER.info("worker marked for drain", worker=worker_id)
+        if marked and self.journal is not None and self.journal.is_open:
+            self.journal.record_drain(marked)
         return {"marked": marked, "already_draining": already,
                 "unknown": unknown, "gone": gone}
 
@@ -544,6 +658,8 @@ class SweepBroker:
                     "drains_requested": self.drains_requested,
                     "drains_completed": self.drains_completed,
                     "drain_requeued_tasks": self.drain_requeued_tasks,
+                    "journal_replayed": self.journal_replayed_results,
+                    "worker_reconnections": self.worker_reconnections,
                 },
                 "drain_seconds": [round(s, 3) for s in self.drain_durations],
                 "workers": workers,
@@ -589,6 +705,10 @@ class SweepBroker:
         for index in requeued:
             _LOGGER.warning("worker disconnected; task requeued",
                             task=index, worker=worker_id)
+        if requeued and self.journal is not None and self.journal.is_open:
+            self.journal.record_requeue(
+                [self._journal_keys[index] for index in requeued],
+                worker_id, reason="disconnect")
         return len(requeued)
 
 

@@ -81,6 +81,7 @@ def run_distributed_sweep(
         lease_batch: int = 1,
         autoscale=None,
         on_fleet_report: Optional[Callable[[object], None]] = None,
+        journal=None,
 ) -> List[Tuple[TrainingResult, str]]:
     """Execute ``tasks`` on a worker fleet; ``(result, backend_used)`` per task.
 
@@ -120,6 +121,11 @@ def run_distributed_sweep(
         after an autoscaled sweep (ignored without ``autoscale``); the
         report's broker counters are authoritative, filled directly from
         the broker after the grid drains.
+    journal:
+        Path (or :class:`~repro.distributed.journal.SweepJournal`) for the
+        broker's crash-safety write-ahead journal; an existing journal is
+        replayed so a killed sweep resumes instead of restarting (see
+        :class:`SweepBroker`).  Default ``None``: no journaling.
     """
     tasks = list(tasks)
     if not tasks:
@@ -138,7 +144,7 @@ def run_distributed_sweep(
 
     broker = SweepBroker(tasks, host=host, port=port, store=store,
                          heartbeat_timeout=heartbeat_timeout, callback=callback,
-                         lease_batch=lease_batch)
+                         lease_batch=lease_batch, journal=journal)
     broker.start()
     bound_host, bound_port = broker.address
     autoscaler = None

@@ -1,0 +1,276 @@
+"""Append-only write-ahead journal of broker queue transitions.
+
+The :class:`~repro.distributed.broker.SweepBroker` keeps its queue state —
+pending deque, live leases, collected results — in memory, so a killed
+broker used to lose every lease even though results were checkpointed.
+``SweepBroker(journal=...)`` fixes that: every queue transition (session
+open, lease, deliver, requeue, drain mark) is appended to a
+:class:`SweepJournal` and **fsync'd before the worker sees an ACK**, so a
+broker restarted on the same journal resumes the sweep with completed
+tasks done and everything else — including leases that were in flight at
+the kill — back on the pending queue.  Workers that reconnect and
+redeliver results they computed during the outage are absorbed by the
+existing exactly-once dedup.
+
+File format
+-----------
+One JSON document per line (`jsonl`): human-greppable, trivially
+appendable, and a crash mid-write can only ever corrupt the *final* line
+(no newline yet), which replay detects and ignores.  Records identify
+trials by :func:`repro.api.store.trial_key` — the same content address the
+artifact store uses — never by queue index, so a restart whose grid was
+already partially cache-resolved (fewer tasks, different indices) still
+replays cleanly, and a journal from a *different* spec matches nothing
+instead of poisoning the queue.
+
+``deliver`` records embed the pickled :class:`~repro.training.records.
+TrainingResult` (base64), making the journal self-contained: replay needs
+no artifact store.  The pickle trust model is the same as the wire
+protocol's — journals, like brokers, belong on machines you trust.
+
+Record kinds::
+
+    {"op": "open",    "session": n, "tasks": t, "done": d, "time": ...}
+    {"op": "lease",   "keys": [k...], "worker": id}
+    {"op": "deliver", "key": k, "backend": b, "result": <base64 pickle>}
+    {"op": "requeue", "keys": [k...], "worker": id, "reason": ...}
+    {"op": "drain",   "workers": [id...]}
+
+Only ``deliver`` records carry state that replay must restore; the others
+are the audit trail (and give tests and the chaos harness a deterministic
+external view of the queue's history).
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import os
+import pickle
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, IO, Optional, Sequence, Tuple, Union
+
+from repro.utils.logging import get_logger
+
+_LOGGER = get_logger("repro.distributed.journal")
+
+#: Bumped when the record schema changes incompatibly.
+JOURNAL_FORMAT_VERSION = 1
+
+
+class JournalError(RuntimeError):
+    """A journal file is corrupt beyond the tolerated truncated tail."""
+
+
+def task_journal_key(task) -> str:
+    """The journal identity of one task: the store's content address.
+
+    Deferred import — :mod:`repro.api.store` imports the sweep machinery,
+    so a module-level import here would cycle (same dance as
+    :mod:`repro.distributed.worker`).
+    """
+    from repro.api.store import trial_key
+
+    return trial_key(task)
+
+
+@dataclass
+class JournalReplay:
+    """Everything :meth:`SweepJournal.load` recovered from an existing file."""
+
+    #: ``trial_key -> (TrainingResult, backend_used)`` for every delivered task.
+    results: Dict[str, Tuple[Any, str]] = field(default_factory=dict)
+    #: Broker sessions recorded so far (``open`` records).
+    sessions: int = 0
+    #: Lease / requeue / drain-mark records seen (audit counters).
+    leases: int = 0
+    requeues: int = 0
+    drains: int = 0
+    #: Records parsed in total (excluding a truncated tail).
+    records: int = 0
+    #: True when the final line was a partial write (broker died mid-append).
+    truncated_tail: bool = False
+
+    @property
+    def delivered(self) -> int:
+        return len(self.results)
+
+
+class SweepJournal:
+    """One append-only journal file, fsync'd per record.
+
+    Thread-safe: broker connection threads append concurrently under one
+    internal lock, so records never interleave mid-line and the fsync
+    covers exactly the record just written.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._lock = threading.Lock()
+        self._fh: Optional[IO[str]] = None
+        #: Records appended by *this* process (not counting replayed ones).
+        self.records_written = 0
+
+    # ------------------------------------------------------------------ replay
+    def load(self) -> JournalReplay:
+        """Parse the existing journal (if any) into a :class:`JournalReplay`.
+
+        A missing or empty file replays to nothing.  A partial final line —
+        the broker died mid-append — is ignored and flagged; a malformed
+        line anywhere *else* raises :class:`JournalError`, because that is
+        disk corruption, not a crash artifact.
+        """
+        replay = JournalReplay()
+        if not self.path.exists():
+            return replay
+        raw = self.path.read_bytes()
+        if not raw:
+            return replay
+        lines = raw.split(b"\n")
+        # A well-formed journal ends with a newline, leaving one empty tail
+        # element; anything else dangling is a mid-append crash artifact.
+        tail = lines.pop()
+        if tail:
+            replay.truncated_tail = True
+        for number, line in enumerate(lines, start=1):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError as error:
+                raise JournalError(
+                    f"{self.path}: malformed journal record on line "
+                    f"{number}: {error}") from error
+            self._apply(record, replay, number)
+        if replay.truncated_tail:
+            _LOGGER.warning("journal has a truncated final record "
+                            "(broker died mid-append); ignored",
+                            path=str(self.path))
+        return replay
+
+    def _apply(self, record: Dict[str, Any], replay: JournalReplay,
+               number: int) -> None:
+        op = record.get("op")
+        replay.records += 1
+        if op == "open":
+            replay.sessions += 1
+            version = record.get("version", JOURNAL_FORMAT_VERSION)
+            if version != JOURNAL_FORMAT_VERSION:
+                raise JournalError(
+                    f"{self.path}: journal format v{version} is not "
+                    f"supported (this build reads v{JOURNAL_FORMAT_VERSION})")
+        elif op == "deliver":
+            key = record["key"]
+            try:
+                result = pickle.loads(base64.b64decode(record["result"]))
+            except Exception as error:
+                raise JournalError(
+                    f"{self.path}: undecodable result for task {key} on "
+                    f"line {number}: {error}") from error
+            # First delivery wins, mirroring the broker's live dedup; a
+            # journal can only grow duplicates if two sessions raced, and
+            # either copy is the bit-identical same computation anyway.
+            replay.results.setdefault(key, (result, record.get("backend",
+                                                              "distributed")))
+        elif op == "lease":
+            replay.leases += len(record.get("keys", ()))
+        elif op == "requeue":
+            replay.requeues += len(record.get("keys", ()))
+        elif op == "drain":
+            replay.drains += len(record.get("workers", ()))
+        else:
+            raise JournalError(
+                f"{self.path}: unknown journal op {op!r} on line {number}")
+
+    # ------------------------------------------------------------------ writing
+    def open(self, *, tasks: int, done: int) -> None:
+        """Open for appending and record the start of a broker session."""
+        with self._lock:
+            if self._fh is not None:
+                raise RuntimeError(f"journal {self.path} already open")
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = open(self.path, "a", encoding="utf-8")
+        self.append("open", version=JOURNAL_FORMAT_VERSION, tasks=tasks,
+                    done=done, time=time.time())
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fh is None:
+                return
+            try:
+                self._fh.close()
+            finally:
+                self._fh = None
+
+    @property
+    def is_open(self) -> bool:
+        return self._fh is not None
+
+    def append(self, op: str, **fields: Any) -> None:
+        """Append one record and fsync it to disk before returning.
+
+        The fsync is the whole point of the journal: once this returns,
+        the record survives a SIGKILL.  The broker calls this *before*
+        ACKing a result, so an acknowledged trial is always recoverable.
+        """
+        record = {"op": op, **fields}
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        with self._lock:
+            if self._fh is None:
+                raise RuntimeError(
+                    f"journal {self.path} is not open for appending")
+            self._fh.write(line + "\n")
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+            self.records_written += 1
+
+    # Convenience wrappers so broker call sites read as queue transitions.
+    def record_lease(self, keys: Sequence[str], worker_id: str) -> None:
+        self.append("lease", keys=list(keys), worker=worker_id)
+
+    def record_deliver(self, key: str, result: Any, backend_used: str) -> None:
+        blob = base64.b64encode(
+            pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)).decode("ascii")
+        self.append("deliver", key=key, backend=backend_used, result=blob)
+
+    def record_requeue(self, keys: Sequence[str], worker_id: str,
+                       reason: str) -> None:
+        self.append("requeue", keys=list(keys), worker=worker_id,
+                    reason=reason)
+
+    def record_drain(self, worker_ids: Sequence[str]) -> None:
+        self.append("drain", workers=list(worker_ids))
+
+    # ------------------------------------------------------------------ misc
+    def __enter__(self) -> "SweepJournal":
+        return self
+
+    def __exit__(self, *_exc: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        state = "open" if self.is_open else "closed"
+        return f"SweepJournal({str(self.path)!r}, {state})"
+
+
+def count_deliveries(path: Union[str, Path]) -> int:
+    """Cheap poll of how many deliveries a journal holds (chaos harness/CI).
+
+    Counts ``deliver`` lines without unpickling results, tolerating a
+    truncated tail — safe to call while a live broker is appending.
+    """
+    path = Path(path)
+    if not path.exists():
+        return 0
+    count = 0
+    for line in path.read_bytes().split(b"\n")[:-1]:
+        if b'"op":"deliver"' in line:
+            count += 1
+    return count
+
+
+__all__ = ["JOURNAL_FORMAT_VERSION", "JournalError", "JournalReplay",
+           "SweepJournal", "count_deliveries", "task_journal_key"]

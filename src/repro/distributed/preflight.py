@@ -55,8 +55,12 @@ def check_bind_address(bind: str) -> Optional[str]:
         return f"--bind {bind!r}: {error}"
     probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
     try:
-        # No SO_REUSEADDR: surface "already in use" exactly as the broker
-        # would hit it.  Port 0 (ephemeral) always binds.
+        # SO_REUSEADDR to match the broker's own bind exactly: a live
+        # listener still fails ("already in use"), but connections left in
+        # TIME_WAIT by a crashed broker don't — rebinding the same address
+        # right after a crash is the journal-restart path.  Port 0
+        # (ephemeral) always binds.
+        probe.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         probe.bind((host, port))
     except socket.gaierror as error:
         return (f"--bind {bind!r}: host does not resolve ({error}); "

@@ -28,6 +28,19 @@ exit at the same clean batch boundary.  Either way, retiring a worker
 loses no leases: this is the actuation primitive of
 :class:`repro.fleet.FleetAutoscaler`.
 
+Reconnect (1.8+): with ``WorkerOptions(reconnect=RetryPolicy(...))`` a
+lost broker connection no longer ends the worker — it backs off on the
+policy's deterministic schedule, reconnects, re-``HELLO``\ s under the
+*same* worker id (so broker accounting reconciles the gap as a
+reconnection, not a new worker), redelivers any result it computed during
+the outage (the broker's dedup absorbs the copy if the original landed),
+and resumes pulling tasks.  A result lost mid-``RESULT`` is therefore
+never lost twice: either the broker journaled/acked it, or the requeued
+lease is retrained — both converge on the same bits.  Without a policy
+(the default, and what the coordinator's auto-spawned fleets use) the
+pre-1.8 behaviour is unchanged: broker gone means the worker's job is
+done.
+
 Workers may attach their own :class:`~repro.api.store.ArtifactStore`
 (``repro worker --store DIR``).  A store-equipped worker answers tasks it
 has already trained from cache and checkpoints fresh results locally, so a
@@ -43,13 +56,14 @@ import threading
 import time
 import uuid
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 from repro import telemetry
 from repro.distributed import protocol
 from repro.parallel.sweep import SweepTask, _run_sweep_task
 from repro.training.records import TrainingResult
 from repro.utils.logging import get_logger
+from repro.utils.retry import RetryPolicy
 
 _LOGGER = get_logger("repro.distributed.worker")
 
@@ -76,6 +90,25 @@ class WorkerOptions:
     drain_event: Optional[threading.Event] = field(default=None, compare=False)
     """Optional externally-owned drain trigger (tests drive in-thread workers
     with it; the CLI leaves it ``None`` and relies on the signal handlers)."""
+    reconnect: Optional[RetryPolicy] = None
+    """Survive broker outages: back off on this policy's schedule and
+    re-``HELLO`` under the same worker id instead of exiting.  Each outage
+    gets a fresh policy run (the attempt cap / deadline bounds *one*
+    outage, not the worker's lifetime); a policy exhausted mid-outage
+    raises :class:`~repro.utils.retry.RetryError`.  ``None`` keeps the
+    legacy exit-on-disconnect behaviour."""
+    idle_timeout: Optional[float] = 60.0
+    """Seconds to wait for any single broker reply before declaring the
+    connection dead (half-open TCP to a SIGKILLed broker otherwise hangs
+    the worker forever).  Generous on purpose: the broker answers every
+    frame promptly — only trial *training* takes long, and the worker
+    never blocks on the socket during training.  ``None`` restores the
+    pre-1.8 unbounded wait."""
+    connect_factory: Optional[Callable[[str, int, Optional[float]], socket.socket]] = (
+        field(default=None, compare=False))
+    """Socket factory ``(host, port, timeout) -> socket`` replacing
+    ``socket.create_connection`` — the fault-injection seam
+    (:meth:`repro.chaos.FaultPlan.connect` plugs in here)."""
 
 
 def default_worker_id() -> str:
@@ -129,27 +162,124 @@ def execute_task(task: SweepTask, store=None) -> Tuple[TrainingResult, bool]:
     return result, False
 
 
+class _WorkerState:
+    """What survives across one worker's broker connections."""
+
+    __slots__ = ("completed", "undelivered", "reconnects")
+
+    def __init__(self) -> None:
+        self.completed = 0
+        #: Results computed but not yet acked when a connection died:
+        #: ``(task index, result, backend)``.  Flushed first thing after
+        #: every reconnect; the broker's dedup absorbs any copy whose
+        #: original RESULT actually landed before the cut.
+        self.undelivered: List[Tuple[int, TrainingResult, str]] = []
+        self.reconnects = 0
+
+
 def run_worker(host: str, port: int,
                options: WorkerOptions = WorkerOptions()) -> int:
-    """Serve one broker until ``SHUTDOWN``/``DRAIN``; returns tasks completed."""
-    from repro.api.store import ArtifactStore   # deferred: avoids an import cycle
+    """Serve one broker until ``SHUTDOWN``/``DRAIN``; returns tasks completed.
 
+    With ``options.reconnect`` set, a lost connection (including a failed
+    initial connect) is retried on the policy's backoff schedule instead of
+    ending the worker; see the module docstring for the redelivery
+    semantics.  An exhausted policy raises
+    :class:`~repro.utils.retry.RetryError`.
+    """
     worker_id = options.worker_id or default_worker_id()
-    store = (ArtifactStore(options.store_root)
-             if options.store_root is not None else None)
-    sock = socket.create_connection((host, port), timeout=options.connect_timeout)
-    # Trials can take arbitrarily long between frames on the *read* side too
-    # (the broker only answers when asked); clear the connect timeout.
-    sock.settimeout(None)
+    drain = options.drain_event if options.drain_event is not None else threading.Event()
+    restore = (_install_drain_handlers(drain, worker_id)
+               if options.handle_signals else [])
+
+    def connect() -> socket.socket:
+        if options.connect_factory is not None:
+            return options.connect_factory(host, port, options.connect_timeout)
+        return socket.create_connection((host, port),
+                                        timeout=options.connect_timeout)
+
+    def on_retry(attempt: int, delay: float, error: BaseException) -> None:
+        _LOGGER.warning("broker unreachable; backing off", worker=worker_id,
+                        attempt=attempt, delay=round(delay, 3), error=str(error))
+
+    state = _WorkerState()
+    store = None
+    if options.store_root is not None:
+        from repro.api.store import ArtifactStore   # deferred: avoids an import cycle
+
+        store = ArtifactStore(options.store_root)
+    sessions = 0
+    clock = None      # live only while one outage is being retried
+    try:
+        while not drain.is_set():
+            try:
+                sock = connect()
+            except (ConnectionError, OSError) as error:
+                if options.reconnect is None:
+                    raise
+                if clock is None:
+                    clock = options.reconnect.clock()
+                clock.failed(error, on_retry=on_retry)   # sleeps or raises
+                continue
+            outcome = _serve_connection(sock, worker_id, store, drain,
+                                        options, state)
+            if outcome.handshook:
+                sessions += 1
+                if sessions > 1:
+                    state.reconnects += 1
+                    telemetry.count("worker.reconnects")
+                    _LOGGER.info("worker reconnected", worker=worker_id,
+                                 session=sessions)
+                clock = None    # productive session: next outage starts fresh
+            if outcome.kind != "lost":
+                break
+            if options.reconnect is None:
+                # Pre-1.8 behaviour: the broker is gone — sweep finished (it
+                # tears the port down as soon as the grid drains) or it
+                # died; either way the worker's job here is over.
+                _LOGGER.info("broker connection closed", worker=worker_id)
+                break
+            if not outcome.handshook:
+                # Connected but died before WELCOME: burns retry budget like
+                # a failed connect, or a flapping broker would spin us hot.
+                if clock is None:
+                    clock = options.reconnect.clock()
+                clock.failed(outcome.error, on_retry=on_retry)
+            _LOGGER.warning("broker connection lost; reconnecting",
+                            worker=worker_id,
+                            undelivered=len(state.undelivered))
+    finally:
+        for signum, previous in restore:
+            try:
+                signal.signal(signum, previous)
+            except (ValueError, OSError, TypeError):  # pragma: no cover
+                pass
+    _LOGGER.info("worker exiting", worker=worker_id,
+                 completed=state.completed, reconnects=state.reconnects)
+    return state.completed
+
+
+class _ConnectionOutcome:
+    """Why one broker connection ended."""
+
+    __slots__ = ("kind", "handshook", "error")
+
+    def __init__(self, kind: str, handshook: bool,
+                 error: Optional[BaseException] = None) -> None:
+        self.kind = kind            # "lost" | "shutdown" | "drain" | "max_tasks"
+        self.handshook = handshook  # WELCOME received on this connection
+        self.error = error
+
+
+def _serve_connection(sock: socket.socket, worker_id: str, store,
+                      drain: threading.Event, options: WorkerOptions,
+                      state: _WorkerState) -> _ConnectionOutcome:
+    """One connection's HELLO -> GET/RESULT loop; never raises transport errors."""
     send_lock = threading.Lock()
 
     def send(kind: str, payload=None) -> None:
         with send_lock:
             protocol.send_message(sock, kind, payload)
-
-    drain = options.drain_event if options.drain_event is not None else threading.Event()
-    restore = (_install_drain_handlers(drain, worker_id)
-               if options.handle_signals else [])
 
     def announce_drain(negotiated: bool) -> None:
         # Tell a drain-capable broker this disconnect is deliberate — it
@@ -164,10 +294,33 @@ def run_worker(host: str, port: int,
         except (ConnectionError, OSError):
             pass
 
-    completed = 0
+    def deliver(index: int, result: TrainingResult, backend: str) -> bool:
+        """RESULT -> ACK for one trial; returns the broker's ``fresh`` flag."""
+        send(protocol.RESULT, (index, result, backend))
+        kind, fresh = protocol.recv_message(sock)
+        if kind != protocol.ACK:
+            raise protocol.ProtocolError(f"expected ACK, got {kind!r}")
+        state.completed += 1
+        telemetry.count("distributed.worker.tasks_completed")
+        if not fresh:
+            telemetry.count("distributed.worker.duplicate_acks")
+        return bool(fresh)
+
     try:
-        send(protocol.HELLO, worker_id)
-        kind, info = protocol.recv_message(sock)
+        # The broker answers every frame promptly (training happens on our
+        # side, between frames), so each reply wait is bounded: a half-open
+        # connection to a dead broker times out into the reconnect path
+        # instead of hanging the worker forever.
+        sock.settimeout(options.idle_timeout)
+        try:
+            send(protocol.HELLO, worker_id)
+            kind, info = protocol.recv_message(sock)
+        except protocol.ProtocolError:
+            # A *violation* (malformed/oversized frame), not an outage:
+            # retrying a broker that speaks garbage would spin forever.
+            raise
+        except (ConnectionError, OSError) as error:
+            return _ConnectionOutcome("lost", False, error)
         if kind != protocol.WELCOME:
             raise protocol.ProtocolError(f"expected WELCOME, got {kind!r}")
         # 1.7+ brokers advertise "drain" in WELCOME; only then may the GET
@@ -178,31 +331,46 @@ def run_worker(host: str, port: int,
                        if drain_negotiated else LEASE_CAPACITY)
         _LOGGER.info("worker registered", worker=worker_id,
                      tasks=info.get("tasks"), drain=drain_negotiated)
-        while options.max_tasks is None or completed < options.max_tasks:
+        # Flush results stranded by a previous outage before asking for new
+        # work — the broker requeued those leases when the old connection
+        # dropped, so each redelivery is acked fresh (it beat the requeued
+        # copy) or as a duplicate (someone retrained it first); both bits
+        # are identical, so either answer is fine.
+        while state.undelivered:
+            index, result, backend = state.undelivered[0]
+            try:
+                deliver(index, result, backend)
+            except protocol.ProtocolError:
+                raise
+            except (ConnectionError, OSError) as error:
+                return _ConnectionOutcome("lost", True, error)
+            state.undelivered.pop(0)
+            telemetry.count("distributed.worker.redelivered_results")
+            _LOGGER.info("stranded result redelivered", worker=worker_id,
+                         task=index)
+        while options.max_tasks is None or state.completed < options.max_tasks:
             if drain.is_set():
                 _LOGGER.info("drain requested; exiting cleanly",
-                             worker=worker_id, completed=completed)
+                             worker=worker_id, completed=state.completed)
                 announce_drain(drain_negotiated)
-                break
+                return _ConnectionOutcome("drain", True)
             try:
                 send(protocol.GET, get_payload)
                 kind, payload = protocol.recv_message(sock)
-            except (ConnectionError, OSError):
-                # The broker is gone — sweep finished (it tears the port
-                # down as soon as the grid drains) or it died; either way
-                # the worker's job here is over.
-                _LOGGER.info("broker connection closed", worker=worker_id)
-                break
+            except protocol.ProtocolError:
+                raise
+            except (ConnectionError, OSError) as error:
+                return _ConnectionOutcome("lost", True, error)
             if kind == protocol.SHUTDOWN:
-                break
+                return _ConnectionOutcome("shutdown", True)
             if kind == protocol.DRAIN:
                 # The broker retired this worker (fleet scale-down).  No
                 # lease is held at this point — GET only goes out between
                 # batches — so exiting here abandons nothing.
                 telemetry.count("distributed.worker.drains")
                 _LOGGER.info("drained by broker", worker=worker_id,
-                             completed=completed)
-                break
+                             completed=state.completed)
+                return _ConnectionOutcome("drain", True)
             if kind == protocol.WAIT:
                 telemetry.count("distributed.worker.wait_frames")
                 time.sleep(float(payload))
@@ -217,45 +385,34 @@ def run_worker(host: str, port: int,
             else:
                 raise protocol.ProtocolError(f"expected TASK/TASKS/WAIT/SHUTDOWN, "
                                              f"got {kind!r}")
-            broker_lost = False
             for index, task in batch:
                 result, was_cached = _execute_with_heartbeat(
                     task, store, send, options.heartbeat_interval)
                 try:
-                    send(protocol.RESULT, (index, result, DISTRIBUTED_BACKEND))
-                    kind, fresh = protocol.recv_message(sock)
-                except (ConnectionError, OSError):
+                    fresh = deliver(index, result, DISTRIBUTED_BACKEND)
+                except protocol.ProtocolError:
+                    raise
+                except (ConnectionError, OSError) as error:
                     # Result may or may not have landed; the broker requeues
                     # the lease if it didn't, and dedups the delivery if it
-                    # did.  Remaining leases of the batch get requeued too.
+                    # did.  Stash it for redelivery after a reconnect; the
+                    # rest of the batch is abandoned (the broker requeued
+                    # those leases the moment this connection dropped).
                     _LOGGER.warning("broker lost mid-result", worker=worker_id,
                                     task=index)
-                    broker_lost = True
-                    break
-                if kind != protocol.ACK:
-                    raise protocol.ProtocolError(f"expected ACK, got {kind!r}")
-                completed += 1
-                telemetry.count("distributed.worker.tasks_completed")
+                    state.undelivered.append((index, result,
+                                              DISTRIBUTED_BACKEND))
+                    return _ConnectionOutcome("lost", True, error)
                 if was_cached:
                     telemetry.count("distributed.worker.cache_hits")
-                if not fresh:
-                    telemetry.count("distributed.worker.duplicate_acks")
                 _LOGGER.info("task done", worker=worker_id, task=index,
                              cached=was_cached, accepted=fresh)
-            if broker_lost:
-                break
             # A signal that landed mid-batch drains at the *batch* boundary:
             # every lease the worker held has now been delivered and acked,
             # so the drain requeues nothing (the loop top exits next pass).
+        return _ConnectionOutcome("max_tasks", True)
     finally:
         sock.close()
-        for signum, previous in restore:
-            try:
-                signal.signal(signum, previous)
-            except (ValueError, OSError, TypeError):  # pragma: no cover
-                pass
-    _LOGGER.info("worker exiting", worker=worker_id, completed=completed)
-    return completed
 
 
 def _execute_with_heartbeat(task: SweepTask, store, send,

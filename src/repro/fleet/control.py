@@ -20,10 +20,11 @@ coordinator's dead-fleet detection.
 from __future__ import annotations
 
 import socket
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.distributed import protocol
 from repro.telemetry.fleet import FleetStatusError, observer_id
+from repro.utils.retry import RetryPolicy
 
 
 class FleetControlError(FleetStatusError):
@@ -31,7 +32,8 @@ class FleetControlError(FleetStatusError):
 
 
 def request_drain(host: str, port: int, worker_ids: Sequence[str], *,
-                  timeout: float = 5.0) -> Dict[str, List[str]]:
+                  timeout: float = 5.0,
+                  retry: Optional[RetryPolicy] = None) -> Dict[str, List[str]]:
     """Ask the broker at ``host:port`` to gracefully drain ``worker_ids``.
 
     Returns the broker's disposition dict (see module docstring).  Raises
@@ -39,16 +41,31 @@ def request_drain(host: str, port: int, worker_ids: Sequence[str], *,
     the negotiated ``DRAIN`` capability (repro < 1.7) — the caller should
     fall back to SIGTERM-ing the worker processes it owns, which on 1.7+
     workers triggers the same finish-then-exit drain from the other side.
+
+    With ``retry`` set, transient failures are retried on the policy's
+    schedule (marking an already-draining worker twice is answered, not
+    compounded — the broker reports ``already_draining`` — so a retried
+    drain request is idempotent).  Capability errors raise immediately.
     """
     ids = [str(worker_id) for worker_id in worker_ids]
     if not ids:
         return {"marked": [], "already_draining": [], "unknown": [],
                 "gone": []}
+    if retry is not None:
+        clock = retry.clock()
+        while True:
+            try:
+                return request_drain(host, port, ids, timeout=timeout)
+            except FleetControlError as error:
+                if not error.transient:
+                    raise
+                clock.failed(error)
     try:
         sock = socket.create_connection((host, port), timeout=timeout)
     except OSError as error:
         raise FleetControlError(
-            f"cannot reach broker at {host}:{port}: {error}") from error
+            f"cannot reach broker at {host}:{port}: {error}",
+            transient=True) from error
     with sock:
         try:
             protocol.send_message(sock, protocol.HELLO, observer_id())
@@ -70,7 +87,7 @@ def request_drain(host: str, port: int, worker_ids: Sequence[str], *,
         except (ConnectionError, OSError) as error:
             raise FleetControlError(
                 f"broker at {host}:{port} dropped the drain request: "
-                f"{error}") from error
+                f"{error}", transient=True) from error
     if not isinstance(report, dict):
         raise FleetControlError(
             f"malformed DRAIN reply: {type(report).__name__}")

@@ -391,6 +391,12 @@ class SweepRunner:
         workers gracefully, with byte-identical results either way.  The
         run's :class:`~repro.fleet.FleetReport` lands on
         :attr:`SweepResult.fleet_report`.
+    journal:
+        Distributed backend only: path to the broker's crash-safety
+        write-ahead journal (``repro run --journal``).  An existing file
+        is replayed first, so re-running after a broker kill resumes with
+        completed trials done and in-flight leases requeued; see
+        :class:`~repro.distributed.journal.SweepJournal`.
     """
 
     BACKENDS = ("auto", "vectorized", "process", "serial", "distributed")
@@ -404,7 +410,8 @@ class SweepRunner:
                  lease_batch: int = 1,
                  progress_every: int = 0,
                  save_policies: bool = False,
-                 autoscale=None) -> None:
+                 autoscale=None,
+                 journal=None) -> None:
         if backend not in self.BACKENDS:
             raise ValueError(f"unknown backend {backend!r}; choose from {self.BACKENDS}")
         if checkpoint_every < 0:
@@ -425,6 +432,11 @@ class SweepRunner:
                 "autoscale only applies to the distributed backend: the "
                 "elastic fleet scales broker workers, which no other "
                 "backend has")
+        if journal and backend != "distributed":
+            raise ValueError(
+                "journal only applies to the distributed backend: it logs "
+                "broker queue transitions, and no other backend has a "
+                "broker (serial/vectorized runs resume from the store)")
         if not isinstance(spec, SweepSpec):
             tasks = list(spec)
             bad = [task for task in tasks if not isinstance(task, SweepTask)]
@@ -449,6 +461,7 @@ class SweepRunner:
         self.progress_every = progress_every
         self.save_policies = save_policies
         self.autoscale = autoscale
+        self.journal = journal
 
     def tasks(self) -> List[SweepTask]:
         """The task list this runner will execute, in grid order."""
@@ -499,7 +512,8 @@ class SweepRunner:
                                           callback=callback,
                                           lease_batch=self.lease_batch,
                                           autoscale=self.autoscale,
-                                          on_fleet_report=keep_report)
+                                          on_fleet_report=keep_report,
+                                          journal=self.journal)
             for task, (result, backend_used) in zip(tasks, pairs):
                 sweep.add(task, result, backend_used=backend_used)
         else:

@@ -22,15 +22,26 @@ from __future__ import annotations
 import pickle
 import socket
 import uuid
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.distributed import protocol
+from repro.utils.retry import RetryPolicy
 
 
 class ServingError(RuntimeError):
-    """The server rejected a request (or the peer is not a policy server)."""
+    """The server rejected a request (or the peer is not a policy server).
+
+    ``transient`` marks failures a retry might fix (server unreachable,
+    connection dropped) as opposed to definitive rejections (wrong peer,
+    unknown design) — :class:`~repro.serving.WeightPushCallback`'s backoff
+    and the ``retry=`` connect path both branch on it.
+    """
+
+    def __init__(self, message: str, *, transient: bool = False) -> None:
+        super().__init__(message)
+        self.transient = transient
 
 
 class PolicyClient:
@@ -47,21 +58,60 @@ class PolicyClient:
         default); required per call otherwise.
     timeout:
         Socket timeout in seconds for connect and each reply.
+    retry:
+        Optional :class:`~repro.utils.retry.RetryPolicy` for the connect +
+        handshake: *transient* failures (server not up yet, connection
+        dropped mid-handshake) back off and retry on its schedule, so a
+        client racing a restarting server converges instead of dying.
+        Definitive rejections ("that's a sweep broker") raise immediately.
+        Established connections are never silently re-dialed — a dropped
+        request still raises, because replaying it could double-act.
+    connect_factory:
+        Socket factory ``(host, port, timeout) -> socket`` replacing
+        ``socket.create_connection`` (the :class:`~repro.chaos.FaultPlan`
+        injection seam, mirroring ``WorkerOptions.connect_factory``).
     """
 
     def __init__(self, host: str, port: int, *,
                  design: Optional[str] = None, timeout: float = 10.0,
-                 client_id: Optional[str] = None) -> None:
+                 client_id: Optional[str] = None,
+                 retry: Optional[RetryPolicy] = None,
+                 connect_factory: Optional[Callable[[str, int, float],
+                                                    socket.socket]] = None) -> None:
         self.client_id = client_id or f"client-{uuid.uuid4().hex[:8]}"
+        self._connect_factory = connect_factory
+        if retry is None:
+            self._sock, info = self._open(host, port, timeout)
+        else:
+            clock = retry.clock()
+            while True:
+                try:
+                    self._sock, info = self._open(host, port, timeout)
+                    break
+                except ServingError as error:
+                    if not error.transient:
+                        raise
+                    clock.failed(error)
+        self.server_info: Dict[str, Any] = info
+        self.designs: List[str] = list(info.get("designs", []))
+        if design is None and len(self.designs) == 1:
+            design = self.designs[0]
+        self.design = design
+
+    def _open(self, host: str, port: int, timeout: float):
+        """One connect + HELLO/WELCOME handshake; ``(socket, server info)``."""
         try:
-            self._sock = socket.create_connection((host, port), timeout=timeout)
+            if self._connect_factory is not None:
+                sock = self._connect_factory(host, port, timeout)
+            else:
+                sock = socket.create_connection((host, port), timeout=timeout)
         except OSError as error:
             raise ServingError(
-                f"cannot reach policy server at {host}:{port}: {error}"
-            ) from error
+                f"cannot reach policy server at {host}:{port}: {error}",
+                transient=True) from error
         try:
-            protocol.send_message(self._sock, protocol.HELLO, self.client_id)
-            kind, info = protocol.recv_message(self._sock)
+            protocol.send_message(sock, protocol.HELLO, self.client_id)
+            kind, info = protocol.recv_message(sock)
             if kind != protocol.WELCOME or not isinstance(info, dict):
                 raise ServingError(
                     f"unexpected {kind!r} reply to HELLO from {host}:{port}")
@@ -70,17 +120,14 @@ class PolicyClient:
                     f"peer at {host}:{port} is not a policy server "
                     f"(a sweep broker?); point the client at `repro serve`")
         except (ConnectionError, OSError) as error:
-            self._sock.close()
+            sock.close()
             raise ServingError(
-                f"handshake with {host}:{port} failed: {error}") from error
+                f"handshake with {host}:{port} failed: {error}",
+                transient=True) from error
         except ServingError:
-            self._sock.close()
+            sock.close()
             raise
-        self.server_info: Dict[str, Any] = info
-        self.designs: List[str] = list(info.get("designs", []))
-        if design is None and len(self.designs) == 1:
-            design = self.designs[0]
-        self.design = design
+        return sock, info
 
     # ------------------------------------------------------------------ lifecycle
     def close(self) -> None:
@@ -108,7 +155,8 @@ class PolicyClient:
         try:
             return protocol.recv_message(self._sock)
         except (ConnectionError, OSError) as error:
-            raise ServingError(f"server connection lost: {error}") from error
+            raise ServingError(f"server connection lost: {error}",
+                transient=True) from error
 
     def act(self, state: Sequence[float], *,
             design: Optional[str] = None) -> int:
@@ -135,7 +183,8 @@ class PolicyClient:
                 protocol.send_message(self._sock, protocol.ACT,
                                       (resolved, row))
         except (ConnectionError, OSError) as error:
-            raise ServingError(f"server connection lost: {error}") from error
+            raise ServingError(f"server connection lost: {error}",
+                transient=True) from error
         actions = np.empty(matrix.shape[0], dtype=np.int64)
         for index in range(matrix.shape[0]):
             kind, payload = self._recv()
@@ -159,7 +208,8 @@ class PolicyClient:
         try:
             protocol.send_message(self._sock, protocol.SWAP, (resolved, blob))
         except (ConnectionError, OSError) as error:
-            raise ServingError(f"server connection lost: {error}") from error
+            raise ServingError(f"server connection lost: {error}",
+                transient=True) from error
         kind, payload = self._recv()
         if kind == protocol.ERROR:
             raise ServingError(str(payload))
@@ -174,7 +224,8 @@ class PolicyClient:
         try:
             protocol.send_message(self._sock, protocol.STATS, None)
         except (ConnectionError, OSError) as error:
-            raise ServingError(f"server connection lost: {error}") from error
+            raise ServingError(f"server connection lost: {error}",
+                transient=True) from error
         kind, payload = self._recv()
         if kind == protocol.ERROR:
             raise ServingError(str(payload))

@@ -32,14 +32,26 @@ from __future__ import annotations
 
 import socket
 import uuid
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.distributed import protocol
 from repro.experiments.reporting import format_table
+from repro.utils.retry import RetryPolicy
 
 
 class FleetStatusError(ConnectionError):
-    """The broker could not be queried (unreachable, or predates STATS)."""
+    """The broker could not be queried (unreachable, or predates STATS).
+
+    ``transient`` distinguishes failures worth retrying (broker briefly
+    unreachable, connection dropped mid-query) from definitive answers
+    (capability missing, malformed reply) that no amount of retrying will
+    change — the ``retry=`` path of the fleet clients backs off only on
+    the former.
+    """
+
+    def __init__(self, message: str, *, transient: bool = False) -> None:
+        super().__init__(message)
+        self.transient = transient
 
 
 def observer_id() -> str:
@@ -47,14 +59,30 @@ def observer_id() -> str:
     return f"{protocol.OBSERVER_PREFIX}-{uuid.uuid4().hex[:8]}"
 
 
-def fetch_fleet_stats(host: str, port: int, *,
-                      timeout: float = 5.0) -> Dict[str, object]:
-    """Query one ``STATS`` snapshot from the broker at ``host:port``."""
+def fetch_fleet_stats(host: str, port: int, *, timeout: float = 5.0,
+                      retry: Optional[RetryPolicy] = None) -> Dict[str, object]:
+    """Query one ``STATS`` snapshot from the broker at ``host:port``.
+
+    With ``retry`` set, transient failures (broker unreachable or dropping
+    the query — e.g. mid-restart from its journal) are retried on the
+    policy's backoff schedule; definitive failures (no STATS capability,
+    malformed reply) raise immediately either way.
+    """
+    if retry is not None:
+        clock = retry.clock()
+        while True:
+            try:
+                return fetch_fleet_stats(host, port, timeout=timeout)
+            except FleetStatusError as error:
+                if not error.transient:
+                    raise
+                clock.failed(error)
     try:
         sock = socket.create_connection((host, port), timeout=timeout)
     except OSError as error:
         raise FleetStatusError(
-            f"cannot reach broker at {host}:{port}: {error}") from error
+            f"cannot reach broker at {host}:{port}: {error}",
+            transient=True) from error
     with sock:
         try:
             protocol.send_message(sock, protocol.HELLO, observer_id())
@@ -75,7 +103,7 @@ def fetch_fleet_stats(host: str, port: int, *,
         except (ConnectionError, OSError) as error:
             raise FleetStatusError(
                 f"broker at {host}:{port} dropped the stats query: "
-                f"{error}") from error
+                f"{error}", transient=True) from error
     if not isinstance(snapshot, dict):
         raise FleetStatusError(
             f"malformed STATS payload: {type(snapshot).__name__}")

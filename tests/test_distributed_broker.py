@@ -257,13 +257,28 @@ class TestProtocolHelpers:
             left.close()
             right.close()
 
-    def test_eof_mid_frame_raises_connection_error(self):
+    def test_eof_mid_payload_raises_connection_error(self):
+        """Peer dies after the length header but before the payload ends."""
         left, right = socket.socketpair()
         try:
             left.sendall((100).to_bytes(8, "big") + b"short")
             left.close()
-            with pytest.raises(ConnectionError):
+            with pytest.raises(ConnectionError) as caught:
                 protocol.recv_message(right)
+            # An outage, not a wire violation: reconnect loops must retry it.
+            assert not isinstance(caught.value, protocol.ProtocolError)
+        finally:
+            right.close()
+
+    def test_eof_mid_length_header_raises_connection_error(self):
+        """Peer dies inside the 8-byte length prefix itself."""
+        left, right = socket.socketpair()
+        try:
+            left.sendall((100).to_bytes(8, "big")[:3])
+            left.close()
+            with pytest.raises(ConnectionError) as caught:
+                protocol.recv_message(right)
+            assert not isinstance(caught.value, protocol.ProtocolError)
         finally:
             right.close()
 
@@ -582,6 +597,50 @@ class TestStatsChannel:
         assert main(["fleet", "status", "--connect",
                      f"127.0.0.1:{port}", "--timeout", "0.5"]) == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestWorkerReconnectAccounting:
+    """HELLO from a known worker id is a reconnection, not a new worker."""
+
+    def test_rehello_preserves_identity_and_counts_reconnection(self):
+        with SweepBroker(_tiny_tasks(2)) as broker:
+            first = _ScriptedWorker(broker, "w0")
+            first.get()
+            assert first.send_result(0) is True
+            first.close()
+            _wait_until(lambda: not broker.stats_snapshot()["workers"]["w0"]
+                        ["connected"], message="disconnect noticed")
+            second = _ScriptedWorker(broker, "w0")   # same id: a reconnect
+            assert broker.worker_reconnections == 1
+            row = broker.stats_snapshot()["workers"]["w0"]
+            assert row["connected"] is True
+            assert row["completed"] == 1             # history preserved
+            assert broker.stats_snapshot()["counters"]["workers_seen"] == 1
+            second.close()
+
+    def test_duplicate_result_from_reconnected_worker_is_deduped(self):
+        """A worker dies holding a lease, someone else retrains the task,
+        then the original worker reconnects and redelivers its stranded
+        result — the exact redelivery race the 1.8 reconnect loop creates."""
+        with SweepBroker(_tiny_tasks(1)) as broker:
+            original = _ScriptedWorker(broker, "flaky")
+            kind, (index, _task) = original.get()
+            assert kind == protocol.TASK and index == 0
+            original.close()                     # connection cut mid-trial
+            _wait_until(lambda: broker.requeued_tasks == 1,
+                        message="lease requeued")
+            other = _ScriptedWorker(broker, "steady")
+            kind, (index, _task) = other.get()
+            assert kind == protocol.TASK and index == 0
+            assert other.send_result(0, result="retrained") is True
+            # The flaky worker comes back under its old id and redelivers.
+            revenant = _ScriptedWorker(broker, "flaky")
+            assert revenant.send_result(0, result="stranded-copy") is False
+            assert broker.duplicate_results == 1
+            assert broker.worker_reconnections == 1
+            assert [r for r, _ in broker.results()] == ["retrained"]
+            other.close()
+            revenant.close()
 
 
 DRAIN_CAPACITY = {"capacity": 8, "drain": True}   # a 1.7+ worker's GET payload

@@ -157,12 +157,25 @@ class TestEngineAndCli:
         spec_path = tmp_path / "spec.json"
         save_json(spec_path, spec.to_json())
         code = main(["run", str(spec_path), "--backend", "distributed",
-                     "--bind", "not-an-address", "--workers", "0",
+                     "--bind", "not-an-address", "--workers", "-1",
                      "--out", str(tmp_path / "artifacts")])
         assert code == 2
         err = capsys.readouterr().err
         assert "error: distributed sweep preflight failed" in err
         assert "--bind" in err and "--workers" in err
+
+    def test_cli_workers_zero_requires_a_bind_address(self, tmp_path, capsys):
+        """``--workers 0`` is the external-fleet mode — valid with --bind
+        (1.8; the chaos CI job restarts a journaled broker that way), still
+        rejected without one, where zero workers can only hang."""
+        from repro.api.cli import main
+
+        code = main(["run", str(self._spec_file(tmp_path)), "--backend",
+                     "distributed", "--workers", "0",
+                     "--out", str(tmp_path / "artifacts")])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "--workers" in err
 
     def _spec_file(self, tmp_path):
         from repro.api import Budget, ExperimentSpec

@@ -1,0 +1,122 @@
+"""Unit tests of the shared retry policy (`repro.utils.retry`).
+
+The policy is the single source of backoff truth for every network edge
+(worker reconnect, fleet clients, serving client, weight pushes), so its
+schedule is pinned exactly: deterministic, capped, deadline-bounded.
+"""
+
+import pytest
+
+from repro.utils.retry import (
+    DEFAULT_RETRY_ON,
+    RetryError,
+    RetryPolicy,
+)
+
+
+class _FakeTime:
+    """Deterministic sleep/now pair: sleeping advances the clock."""
+
+    def __init__(self):
+        self.now_value = 0.0
+        self.sleeps = []
+
+    def sleep(self, seconds):
+        self.sleeps.append(seconds)
+        self.now_value += seconds
+
+    def now(self):
+        return self.now_value
+
+
+class TestRetryPolicy:
+    def test_schedule_is_capped_exponential(self):
+        policy = RetryPolicy(max_attempts=6, base_delay=0.2, multiplier=2.0,
+                             max_delay=1.0)
+        assert policy.delays() == (0.2, 0.4, 0.8, 1.0, 1.0)
+
+    def test_delay_for_huge_index_does_not_overflow(self):
+        policy = RetryPolicy(max_attempts=5, base_delay=0.1, max_delay=30.0)
+        assert policy.delay_for(10_000) == 30.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_attempts"):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError, match="multiplier"):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError, match="max_delay"):
+            RetryPolicy(base_delay=2.0, max_delay=1.0)
+        with pytest.raises(ValueError, match="deadline"):
+            RetryPolicy(deadline=0.0)
+        with pytest.raises(ValueError, match="retry_index"):
+            RetryPolicy().delay_for(-1)
+
+    def test_call_retries_then_succeeds(self):
+        fake = _FakeTime()
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise ConnectionResetError("down")
+            return "up"
+
+        policy = RetryPolicy(max_attempts=5, base_delay=0.2, max_delay=5.0)
+        assert policy.call(flaky, sleep=fake.sleep, now=fake.now) == "up"
+        assert len(attempts) == 3
+        assert fake.sleeps == [0.2, 0.4]
+
+    def test_call_exhausts_into_retry_error(self):
+        fake = _FakeTime()
+
+        def always_down():
+            raise ConnectionRefusedError("nope")
+
+        policy = RetryPolicy(max_attempts=3, base_delay=0.1)
+        with pytest.raises(RetryError) as caught:
+            policy.call(always_down, sleep=fake.sleep, now=fake.now)
+        assert caught.value.attempts == 3
+        assert isinstance(caught.value.last_error, ConnectionRefusedError)
+        # RetryError is a ConnectionError: existing handlers catch it.
+        assert isinstance(caught.value, ConnectionError)
+        assert fake.sleeps == [0.1, 0.2]     # two sleeps, three attempts
+
+    def test_call_does_not_retry_unlisted_exceptions(self):
+        def broken():
+            raise ValueError("a bug, not an outage")
+
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=5).call(broken, sleep=lambda _s: None)
+
+    def test_deadline_cuts_schedule_short(self):
+        fake = _FakeTime()
+        policy = RetryPolicy(max_attempts=100, base_delay=1.0, multiplier=1.0,
+                             max_delay=1.0, deadline=2.5)
+        clock = policy.clock(sleep=fake.sleep, now=fake.now)
+        clock.failed(OSError("1"))           # sleeps to t=1.0
+        clock.failed(OSError("2"))           # sleeps to t=2.0
+        with pytest.raises(RetryError, match="deadline"):
+            clock.failed(OSError("3"))       # 2.0 + 1.0 > 2.5: refused
+
+    def test_one_attempt_means_never_retry(self):
+        clock = RetryPolicy(max_attempts=1).clock(sleep=lambda _s: None)
+        with pytest.raises(RetryError):
+            clock.failed(ConnectionError("first and only"))
+
+    def test_on_retry_hook_sees_each_backoff(self):
+        fake = _FakeTime()
+        seen = []
+        policy = RetryPolicy(max_attempts=3, base_delay=0.5)
+        clock = policy.clock(sleep=fake.sleep, now=fake.now)
+        clock.failed(OSError("x"),
+                     on_retry=lambda n, d, e: seen.append((n, d, str(e))))
+        assert seen == [(1, 0.5, "x")]
+
+    def test_default_retry_on_covers_transport_failures(self):
+        import socket
+
+        from repro.distributed.protocol import ProtocolError
+
+        for exc in (ConnectionError, ConnectionResetError, OSError,
+                    socket.timeout, ProtocolError):
+            assert issubclass(exc, DEFAULT_RETRY_ON)
